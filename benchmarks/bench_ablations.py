@@ -1,0 +1,108 @@
+"""Ablation benchmarks A1-A4 (design choices of §4.2/§4.4, DESIGN.md).
+
+Each ablation toggles one D-tree design choice off and re-measures; the
+assertions pin the *direction* of the effect the paper argues for.
+"""
+
+import pytest
+
+from repro.datasets.catalog import uniform_dataset
+from repro.experiments.ablations import (
+    ablation_early_termination,
+    ablation_extended_styles,
+    ablation_interleaving,
+    ablation_tie_break,
+    ablation_top_down_paging,
+)
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return uniform_dataset(n=100, seed=42)
+
+
+def bench_a1_tie_break(benchmark, dataset):
+    out = run_once(
+        benchmark,
+        lambda: ablation_tie_break(dataset, capacities=(64, 256), queries=400),
+    )
+    print()
+    for label, row in out.items():
+        print(f"  {label:<16} {row}")
+    # Tie-breaking by inter-prob must never hurt tuning meaningfully.
+    for cap in (64, 256):
+        assert out["tie_break_on"][cap] <= out["tie_break_off"][cap] * 1.1
+
+
+def bench_a2_early_termination(benchmark, dataset):
+    out = run_once(
+        benchmark,
+        lambda: ablation_early_termination(
+            dataset, capacities=(64, 128), queries=400
+        ),
+    )
+    print()
+    for label, row in out.items():
+        print(f"  {label:<16} {row}")
+    # The RMC/LMC layout strictly helps where nodes span packets.
+    assert out["early_term_on"][64] < out["early_term_off"][64]
+
+
+def bench_a3_top_down_paging(benchmark, dataset):
+    out = run_once(
+        benchmark,
+        lambda: ablation_top_down_paging(
+            dataset, capacities=(512, 2048), queries=400
+        ),
+    )
+    print()
+    for label, row in out.items():
+        print(f"  {label:<16} {row}")
+    for cap in (512, 2048):
+        assert (
+            out["top_down"][cap]["tuning"]
+            < out["one_node_per_packet"][cap]["tuning"]
+        )
+        assert (
+            out["top_down"][cap]["index_packets"]
+            <= out["one_node_per_packet"][cap]["index_packets"]
+        )
+
+
+def bench_a5_extended_styles(benchmark, dataset):
+    out = run_once(
+        benchmark,
+        lambda: ablation_extended_styles(
+            dataset, capacities=(64, 128), queries=400
+        ),
+    )
+    print()
+    for label, row in out.items():
+        print(f"  {label:<16} {row}")
+    # The extension never makes the index larger and never hurts tuning
+    # beyond noise.
+    for cap in (64, 128):
+        assert (
+            out["extended_styles"][cap]["index_packets"]
+            <= out["paper_styles"][cap]["index_packets"]
+        )
+        assert (
+            out["extended_styles"][cap]["tuning"]
+            <= out["paper_styles"][cap]["tuning"] * 1.05
+        )
+
+
+def bench_a4_interleaving(benchmark, dataset):
+    out = run_once(
+        benchmark,
+        lambda: ablation_interleaving(
+            dataset, capacities=(512, 1024), queries=400
+        ),
+    )
+    print()
+    for label, row in out.items():
+        print(f"  {label:<16} {row}")
+    for cap in (512, 1024):
+        assert out["optimal_m"][cap] <= out["m_1"][cap] + 1e-9

@@ -1,0 +1,77 @@
+"""Extension benchmarks E5-E7 (see DESIGN.md §7 and repro.experiments.extensions)."""
+
+import pytest
+
+from repro.datasets.catalog import uniform_dataset
+from repro.experiments.extensions import (
+    extension_cache_warmup,
+    extension_divisions_vs_hyperplanes,
+    extension_flat_vs_skewed_broadcast,
+    extension_imbalanced_dtree,
+)
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return uniform_dataset(n=120, seed=42)
+
+
+def bench_e5_divisions_vs_hyperplanes(benchmark, dataset):
+    out = run_once(
+        benchmark,
+        lambda: extension_divisions_vs_hyperplanes(
+            dataset, capacities=(64, 256), queries=300
+        ),
+    )
+    print()
+    for label, row in out.items():
+        print(f"  {label:<8} {row}")
+    for cap in (64, 256):
+        # Region duplication inflates the hyperplane index well beyond the
+        # division-based D-tree (the §4.1 design argument).
+        assert (
+            out["kdsplit"][cap]["index_packets"]
+            > 1.5 * out["dtree"][cap]["index_packets"]
+        )
+        assert out["dtree"][cap]["latency"] < out["kdsplit"][cap]["latency"]
+
+
+def bench_e6_flat_vs_skewed_broadcast(benchmark, dataset):
+    out = run_once(
+        benchmark,
+        lambda: extension_flat_vs_skewed_broadcast(
+            dataset, theta=1.2, queries=400
+        ),
+    )
+    print()
+    print(f"  {out}")
+    assert out["speedup"] > 1.0
+    assert out["replication_factor"] > 1.0
+
+
+def bench_e8_imbalanced_dtree(benchmark, dataset):
+    out = run_once(
+        benchmark,
+        lambda: extension_imbalanced_dtree(dataset, theta=1.4, queries=400),
+    )
+    print()
+    print(f"  {out}")
+    # Weighted splits shorten the hot paths the workload actually walks.
+    assert out["imbalanced_expected_depth"] < out["balanced_expected_depth"]
+    assert out["imbalanced_tuning"] <= out["balanced_tuning"] * 1.02
+
+
+def bench_e7_cache_warmup(benchmark, dataset):
+    out = run_once(
+        benchmark,
+        lambda: extension_cache_warmup(dataset, session_length=200),
+    )
+    print()
+    print(f"  cold:   {[round(v, 2) for v in out['cold']]}")
+    print(f"  cached: {[round(v, 2) for v in out['cached']]}")
+    # After warm-up the cached client tunes strictly less than a cold one.
+    assert out["cached"][-1] < out["cold"][-1]
+    # And the cached series improves from its own first window.
+    assert out["cached"][-1] <= out["cached"][0]

@@ -1,0 +1,48 @@
+"""Figure 10 — expected access latency (normalized) vs packet capacity.
+
+Regenerates the three sub-figures (UNIFORM / HOSPITAL / PARK) and asserts
+the paper's qualitative findings:
+
+* the trian-tree and trap-tree cost several times the optimal latency;
+* the D-tree's latency is no worse than the R*-tree's (within noise) and
+  clearly better at small packet capacities;
+* the D-tree's overhead stays at a similar level (~1.5x optimal) across
+  packet capacities.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure10
+from repro.experiments.report import render_matrix
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def fig10(quick_matrix):
+    return figure10(matrix=quick_matrix)
+
+
+def bench_figure10_regeneration(benchmark, quick_matrix):
+    result = run_once(benchmark, lambda: figure10(matrix=quick_matrix))
+    print()
+    print(render_matrix(result))
+
+
+class TestFigure10Shapes:
+    def test_decomposition_indexes_latency_blow_up(self, fig10):
+        for dataset, rows in fig10.series.items():
+            for i, cap in enumerate(fig10.capacities):
+                assert rows["trap"][i] > 1.6, (dataset, cap)
+                assert rows["trian"][i] > rows["dtree"][i], (dataset, cap)
+
+    def test_dtree_no_worse_than_rstar(self, fig10):
+        for dataset, rows in fig10.series.items():
+            for i, cap in enumerate(fig10.capacities):
+                assert rows["dtree"][i] <= rows["rstar"][i] * 1.15, (dataset, cap)
+
+    def test_dtree_overhead_moderate_everywhere(self, fig10):
+        # "about 50% worse than the optimal latency in all three datasets"
+        for dataset, rows in fig10.series.items():
+            for i, cap in enumerate(fig10.capacities):
+                assert 1.0 < rows["dtree"][i] < 2.0, (dataset, cap)

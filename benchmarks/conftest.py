@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures.
+
+The figure benchmarks run on the ``quick`` configuration (datasets ~10x
+smaller than the paper's) so a full `pytest benchmarks/ --benchmark-only`
+finishes in minutes; `python -m repro all --scale paper` regenerates the
+full-scale numbers recorded in EXPERIMENTS.md.  Every benchmark prints the
+series it measured and asserts the paper's qualitative shape.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentMatrix
+
+
+@pytest.fixture(scope="session")
+def quick_matrix():
+    """One shared matrix: logical indexes built once per (dataset, kind)."""
+    return ExperimentMatrix(ExperimentConfig.quick(queries=400, seed=7))
+
+
+def run_once(benchmark, fn):
+    """Time *fn* exactly once (cells are seconds-scale; adaptive rounds
+    would make the suite take hours)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,91 @@
+"""Two location-dependent services sharing one broadcast channel.
+
+A city server airs district traffic reports (D-tree indexed) and a
+nearest-hospital service (R*-tree indexed) back to back in one super
+cycle.  A client asks either service by name; each service keeps its own
+index structure and (1, m) program.
+
+Run:  python examples/multi_service_broadcast.py
+"""
+
+import random
+
+from repro import (
+    DTree,
+    PagedDTree,
+    PagedRStarTree,
+    RStarTree,
+    SystemParameters,
+    hospital_dataset,
+    uniform_dataset,
+)
+from repro.broadcast.multiplex import MultiplexedBroadcast, Service
+from repro.rstar.paged import rstar_fanout
+
+
+def main() -> None:
+    capacity = 256
+    traffic_data = uniform_dataset(n=120, seed=3)
+    hospital_data = hospital_dataset(n=60, seed=185)
+
+    dtree_params = SystemParameters.for_index("dtree", capacity)
+    rstar_params = SystemParameters.for_index("rstar", capacity)
+
+    channel = MultiplexedBroadcast([
+        Service(
+            "traffic",
+            PagedDTree(DTree.build(traffic_data.subdivision), dtree_params),
+            traffic_data.subdivision.region_ids,
+            dtree_params,
+        ),
+        Service(
+            "hospitals",
+            PagedRStarTree(
+                RStarTree.build(
+                    hospital_data.subdivision, rstar_fanout(rstar_params)
+                ),
+                rstar_params,
+            ),
+            hospital_data.subdivision.region_ids,
+            rstar_params,
+        ),
+    ])
+
+    print("channel layout (one super cycle):")
+    for name, service in channel.services.items():
+        print(
+            f"  {name:<10} offset {channel.offsets[name]:>5}p, "
+            f"cycle {service.schedule.cycle_length:>5}p, "
+            f"m={service.schedule.m}"
+        )
+    print(f"  super cycle: {channel.cycle_length} packets\n")
+
+    subdivisions = {
+        "traffic": traffic_data.subdivision,
+        "hospitals": hospital_data.subdivision,
+    }
+    rng = random.Random(11)
+    print(f"{'service':<12}{'query':<20}{'answer':>8}{'latency':>10}{'tuning':>8}")
+    for _ in range(4):
+        for name in ("traffic", "hospitals"):
+            sub = subdivisions[name]
+            p = sub.random_point(rng)
+            t = rng.uniform(0, channel.cycle_length)
+            result = channel.query(name, p, t)
+            assert result.region_id == sub.locate(p)
+            print(
+                f"{name:<12}({p.x:.3f}, {p.y:.3f})".ljust(32)
+                + f"{result.region_id:>8}"
+                + f"{result.access_latency:>9.0f}p"
+                + f"{result.index_tuning_time:>7}p"
+            )
+
+    print(
+        "\nsharing the channel lengthens waits (each service airs once per"
+        "\nsuper cycle) but tuning time — the battery cost — is untouched:"
+        "\nclients sleep through the other service entirely."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Energy under realistic (skewed) query workloads — extension.
+
+The paper evaluates with uniformly random query locations. Real LDIS
+queries cluster: most come from downtown at rush hour, or target a few
+popular regions. This example measures how the D-tree's tuning time and
+latency respond to three workload families over the same broadcast.
+
+Run:  python examples/skewed_workloads.py
+"""
+
+from repro import DTree, PagedDTree, SystemParameters, uniform_dataset
+from repro.broadcast import evaluate_index
+from repro.workload import (
+    hotspot_workload,
+    uniform_workload,
+    zipf_region_workload,
+)
+
+
+def main() -> None:
+    dataset = uniform_dataset(n=200, seed=7)
+    subdivision = dataset.subdivision
+    params = SystemParameters.for_index("dtree", packet_capacity=256)
+    paged = PagedDTree(DTree.build(subdivision), params)
+    print(
+        f"{dataset.n} regions, D-tree in {len(paged.packets)} packets "
+        f"of {params.packet_capacity} B\n"
+    )
+
+    workloads = [
+        uniform_workload(subdivision, 800, seed=1),
+        hotspot_workload(
+            subdivision, 800, centers=[(0.35, 0.4), (0.7, 0.65)], spread=0.06,
+            seed=1,
+        ),
+        zipf_region_workload(subdivision, 800, theta=1.0, seed=1),
+    ]
+
+    print(f"{'workload':<12}{'latency':>10}{'tuning':>9}{'efficiency':>12}")
+    for workload in workloads:
+        metrics = evaluate_index(
+            paged, subdivision.region_ids, params, workload.points, seed=3
+        )
+        print(
+            f"{workload.name:<12}"
+            f"{metrics.normalized_latency:>9.2f}x"
+            f"{metrics.mean_index_tuning:>8.2f}p"
+            f"{metrics.efficiency:>12.2f}"
+        )
+
+    print(
+        "\nThe D-tree's balanced construction keeps tuning nearly flat under"
+        "\nskew: hotspot queries repeatedly walk the same root-to-leaf path,"
+        "\nbut its cost equals any other path's.  Latency is workload-"
+        "\nindependent by design (flat broadcast).  An imbalanced D-tree that"
+        "\nshortens hot paths (cf. Chen et al.'s imbalanced index, the"
+        "\npaper's ref [6]) is the natural next step this harness can"
+        "\nevaluate."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""D-tree air indexing for location-dependent data — ICDE 2003 reproduction.
+
+A complete implementation of "Energy Efficient Index for Querying
+Location-Dependent Data in Mobile Broadcast Environments" (Xu, Zheng, Lee,
+Lee — ICDE 2003): the D-tree index, the trian-tree / trap-tree / R*-tree
+baselines, the wireless broadcast substrate with (1, m) interleaving, the
+Voronoi valid-scope construction, and the full evaluation harness.
+
+Quickstart::
+
+    from repro import uniform_dataset, DTree, SystemParameters, PagedDTree
+    from repro.broadcast import evaluate_index
+    from repro.geometry import Point
+
+    dataset = uniform_dataset(n=500, seed=1)
+    tree = DTree.build(dataset.subdivision)
+    region = tree.locate(Point(0.3, 0.7))          # logical point query
+
+    params = SystemParameters.for_index("dtree", packet_capacity=256)
+    paged = PagedDTree(tree, params)               # Algorithm-3 paging
+    # ... schedule on the broadcast channel and measure (see examples/).
+"""
+
+from repro.errors import (
+    ReproError,
+    GeometryError,
+    SubdivisionError,
+    IndexBuildError,
+    PagingError,
+    QueryError,
+    BroadcastError,
+)
+from repro.geometry import Point, Segment, Polygon, Polyline, Rect
+from repro.tessellation import (
+    DataRegion,
+    Subdivision,
+    voronoi_subdivision,
+    grid_subdivision,
+)
+from repro.datasets import (
+    Dataset,
+    uniform_dataset,
+    hospital_dataset,
+    park_dataset,
+    dataset_by_name,
+)
+from repro.core import DTree, PagedDTree, SerializedDTree
+from repro.pointloc import TrianTree, PagedTrianTree, TrapTree, PagedTrapTree
+from repro.rstar import RStarTree, PagedRStarTree
+from repro.io import save_subdivision, load_subdivision
+from repro.workload import (
+    QueryWorkload,
+    uniform_workload,
+    hotspot_workload,
+    zipf_region_workload,
+)
+from repro.broadcast import (
+    SystemParameters,
+    BroadcastSchedule,
+    BroadcastClient,
+    evaluate_index,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "GeometryError",
+    "SubdivisionError",
+    "IndexBuildError",
+    "PagingError",
+    "QueryError",
+    "BroadcastError",
+    "Point",
+    "Segment",
+    "Polygon",
+    "Polyline",
+    "Rect",
+    "DataRegion",
+    "Subdivision",
+    "voronoi_subdivision",
+    "grid_subdivision",
+    "Dataset",
+    "uniform_dataset",
+    "hospital_dataset",
+    "park_dataset",
+    "dataset_by_name",
+    "DTree",
+    "PagedDTree",
+    "SerializedDTree",
+    "save_subdivision",
+    "load_subdivision",
+    "QueryWorkload",
+    "uniform_workload",
+    "hotspot_workload",
+    "zipf_region_workload",
+    "TrianTree",
+    "PagedTrianTree",
+    "TrapTree",
+    "PagedTrapTree",
+    "RStarTree",
+    "PagedRStarTree",
+    "SystemParameters",
+    "BroadcastSchedule",
+    "BroadcastClient",
+    "evaluate_index",
+    "__version__",
+]

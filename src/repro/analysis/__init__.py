@@ -1,0 +1,13 @@
+"""Analytic cost models for the D-tree on air (validated against simulation)."""
+
+from repro.analysis.models import (
+    dtree_index_bytes,
+    dtree_expected_tuning,
+    latency_overhead_estimate,
+)
+
+__all__ = [
+    "dtree_index_bytes",
+    "dtree_expected_tuning",
+    "latency_overhead_estimate",
+]

@@ -1,0 +1,98 @@
+"""Closed-form cost estimates for the paged D-tree.
+
+Three quantities the evaluation measures by simulation can also be
+estimated analytically from the index structure alone — useful for sizing
+a broadcast system without running workloads, and as a cross-check on the
+simulator (the tests pin estimate vs measurement):
+
+* **index size** in bytes — exact (sum of Figure-7 node sizes);
+* **expected index tuning time** — visit probabilities from region areas,
+  per-node packet costs from the Algorithm-3 layout, and the D2
+  (interlocking-zone) probability for multi-packet nodes;
+* **expected normalized latency** — the (1, m) formula of Imielinski et
+  al. over the paged index size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.dtree import DTree, DTreeNode
+from repro.core.paging import PagedDTree
+from repro.broadcast.schedule import expected_latency_formula, optimal_m
+
+
+def dtree_index_bytes(paged: PagedDTree) -> int:
+    """Exact serialized index size in bytes (before packet padding)."""
+    return paged.index_bytes
+
+
+def _subtree_areas(tree: DTree) -> Dict[int, float]:
+    """node_id -> total region area under the node."""
+    region_area = {
+        r.region_id: r.polygon.area for r in tree.subdivision.regions
+    }
+    areas: Dict[int, float] = {}
+
+    def walk(child) -> float:
+        if isinstance(child, DTreeNode):
+            total = walk(child.left) + walk(child.right)
+            areas[child.node_id] = total
+            return total
+        return region_area[child]
+
+    if tree.root is not None:
+        walk(tree.root)
+    return areas
+
+
+def dtree_expected_tuning(paged: PagedDTree) -> float:
+    """Expected index-search packet accesses for a uniform query.
+
+    Per node: the visit probability is its subspace's share of the
+    service area; the cost is one packet when the node starts a packet its
+    parent did not end in, plus — for multi-packet nodes — the remaining
+    span weighted by the probability that the query falls in the
+    interlocking zone D2 (where the RMC/LMC early test cannot decide).
+    """
+    tree = paged.tree
+    if tree.root is None:
+        return 0.0
+    areas = _subtree_areas(tree)
+    total_area = max(areas[tree.root.node_id], 1e-12)
+
+    expected = 0.0
+
+    def walk(child, parent_last_packet) -> None:
+        nonlocal expected
+        if not isinstance(child, DTreeNode):
+            return
+        packets = paged.packets_of_node(child.node_id)
+        p_visit = areas[child.node_id] / total_area
+        cost = 0.0
+        if packets[0] != parent_last_packet:
+            cost += 1.0
+        if len(packets) > 1:
+            extra = len(packets) - 1
+            if paged.early_termination:
+                cost += child.partition.inter_prob * extra
+            else:
+                cost += extra
+        expected += p_visit * cost
+        walk(child.left, packets[-1])
+        walk(child.right, packets[-1])
+
+    walk(tree.root, parent_last_packet=None)
+    return expected
+
+
+def latency_overhead_estimate(paged: PagedDTree, n_regions: int) -> float:
+    """Expected access latency normalized to the optimal (no-index) value,
+    from the (1, m) closed form."""
+    params = paged.params
+    index_packets = len(paged.packets)
+    data_packets = n_regions * params.data_packets_per_instance
+    m = optimal_m(index_packets, data_packets)
+    expected = expected_latency_formula(index_packets, data_packets, m)
+    optimal = data_packets / 2.0 + params.data_packets_per_instance
+    return expected / optimal

@@ -1,0 +1,52 @@
+"""The wireless broadcast substrate.
+
+Models everything below the index structures: fixed-capacity packets
+(Table 2), the (1, m) index/data interleaving of Imielinski et al. with the
+optimal replication factor, the flat data broadcast, and a client simulator
+implementing the paper's three-step access protocol (initial probe, index
+search, data retrieval).  The simulator produces the paper's three metrics:
+access latency, tuning time and indexing efficiency.
+"""
+
+from repro.broadcast.params import SystemParameters, PACKET_CAPACITIES
+from repro.broadcast.packets import Packet, PacketStore, QueryTrace, PagedIndex
+from repro.broadcast.schedule import BroadcastSchedule, optimal_m
+from repro.broadcast.client import BroadcastClient, AccessResult
+from repro.broadcast.caching import CachingBroadcastClient, PacketCache
+from repro.broadcast.disks import (
+    SkewedBroadcastSchedule,
+    square_root_frequencies,
+    urgency_sequence,
+    region_weights_from_workload,
+)
+from repro.broadcast.metrics import (
+    MetricsSummary,
+    evaluate_index,
+    no_index_tuning_time,
+    no_index_latency,
+    indexing_efficiency,
+)
+
+__all__ = [
+    "SystemParameters",
+    "PACKET_CAPACITIES",
+    "Packet",
+    "PacketStore",
+    "QueryTrace",
+    "PagedIndex",
+    "BroadcastSchedule",
+    "optimal_m",
+    "BroadcastClient",
+    "AccessResult",
+    "CachingBroadcastClient",
+    "PacketCache",
+    "SkewedBroadcastSchedule",
+    "square_root_frequencies",
+    "urgency_sequence",
+    "region_weights_from_workload",
+    "MetricsSummary",
+    "evaluate_index",
+    "no_index_tuning_time",
+    "no_index_latency",
+    "indexing_efficiency",
+]

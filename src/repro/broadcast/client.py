@@ -1,0 +1,122 @@
+"""The mobile client: the paper's three-step access protocol (§2).
+
+1. *Initial probe* — tune in, learn when the next index segment starts,
+   sleep until then.
+2. *Index search* — selectively read index packets (forward-only: the
+   channel is linear, so a pointer to an already-passed packet costs a full
+   extra cycle — index broadcast orders are chosen so this never happens,
+   and the simulator asserts it).
+3. *Data retrieval* — sleep until the bucket arrives, download it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.errors import BroadcastError
+from repro.geometry.point import Point
+from repro.broadcast.packets import PagedIndex, QueryTrace
+from repro.broadcast.schedule import BroadcastSchedule
+
+
+class AccessResult:
+    """Latency/tuning outcome of one client query."""
+
+    __slots__ = (
+        "region_id",
+        "access_latency",
+        "index_tuning_time",
+        "total_tuning_time",
+        "trace",
+    )
+
+    def __init__(
+        self,
+        region_id: int,
+        access_latency: float,
+        index_tuning_time: int,
+        total_tuning_time: int,
+        trace: QueryTrace,
+    ) -> None:
+        self.region_id = region_id
+        #: Packets elapsed between query issue and end of data download.
+        self.access_latency = access_latency
+        #: Packet accesses during the index-search step only (the unit of
+        #: the paper's Figure 12).
+        self.index_tuning_time = index_tuning_time
+        #: Index search + initial probe + data download.
+        self.total_tuning_time = total_tuning_time
+        self.trace = trace
+
+    def __repr__(self) -> str:
+        return (
+            f"AccessResult(region={self.region_id}, "
+            f"latency={self.access_latency:.1f}p, "
+            f"index_tuning={self.index_tuning_time}p)"
+        )
+
+
+class BroadcastClient:
+    """Simulates a mobile client against one paged index + schedule."""
+
+    def __init__(self, paged_index: PagedIndex, schedule: BroadcastSchedule) -> None:
+        self.paged_index = paged_index
+        self.schedule = schedule
+        if len(paged_index.packets) != schedule.index_packet_count:
+            raise BroadcastError(
+                f"schedule built for {schedule.index_packet_count} index "
+                f"packets but the paged index has {len(paged_index.packets)}"
+            )
+
+    def query(self, point: Point, issue_time: float) -> AccessResult:
+        """Run the full access protocol for a query issued at *issue_time*
+        (absolute packet position on the broadcast timeline)."""
+        # Step 1: initial probe — one packet read to learn the next index
+        # segment offset, then doze.
+        segment_start = self.schedule.next_index_start(issue_time)
+
+        # Step 2: index search.  The trace's packet ids are offsets within
+        # the index segment, in broadcast order.
+        trace = self.paged_index.trace(point)
+        accessed = trace.packets_accessed
+        if any(b < a for a, b in zip(accessed, accessed[1:])):
+            raise BroadcastError(
+                "index traversal moved backwards on the broadcast channel: "
+                f"{accessed} — the index broadcast order is invalid"
+            )
+        index_done = segment_start + (accessed[-1] if accessed else 0) + 1
+
+        # Step 3: data retrieval.
+        bucket_start = self.schedule.next_bucket_arrival(
+            trace.region_id, float(index_done)
+        )
+        bucket_end = bucket_start + self.schedule.bucket_packets
+
+        access_latency = bucket_end - issue_time
+        index_tuning = trace.tuning_time
+        total_tuning = 1 + index_tuning + self.schedule.bucket_packets
+        return AccessResult(
+            region_id=trace.region_id,
+            access_latency=access_latency,
+            index_tuning_time=index_tuning,
+            total_tuning_time=total_tuning,
+            trace=trace,
+        )
+
+    def run_workload(
+        self,
+        points: List[Point],
+        seed: int = 0,
+        issue_times: Optional[List[float]] = None,
+    ) -> List[AccessResult]:
+        """Query each point at a uniform-random instant in the cycle."""
+        rng = random.Random(seed)
+        results = []
+        for i, p in enumerate(points):
+            if issue_times is not None:
+                t = issue_times[i]
+            else:
+                t = rng.uniform(0, self.schedule.cycle_length)
+            results.append(self.query(p, t))
+        return results

@@ -1,0 +1,131 @@
+"""Multiplexing several location-dependent services on one channel.
+
+The paper scopes queries to a single data type (§2) — one dataset, one
+index, one broadcast program.  A deployed system airs several services
+(traffic reports, hospitals, restaurants...) on the same channel.  This
+module concatenates each service's own (1, m) program into one super
+cycle and lets a client query any service by name; each service keeps its
+own index structure, so e.g. a D-tree service and an R*-tree service can
+share a channel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import BroadcastError
+from repro.geometry.point import Point
+from repro.broadcast.client import AccessResult
+from repro.broadcast.packets import PagedIndex
+from repro.broadcast.params import SystemParameters
+from repro.broadcast.schedule import BroadcastSchedule
+
+
+class Service:
+    """One data type's index and broadcast program."""
+
+    def __init__(
+        self,
+        name: str,
+        paged_index: PagedIndex,
+        region_ids,
+        params: SystemParameters,
+        m: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.paged_index = paged_index
+        self.schedule = BroadcastSchedule(
+            index_packet_count=len(paged_index.packets),
+            region_ids=list(region_ids),
+            params=params,
+            m=m,
+        )
+
+    def __repr__(self) -> str:
+        return f"Service({self.name!r}, {self.schedule!r})"
+
+
+class MultiplexedBroadcast:
+    """Several services laid end to end in one super cycle.
+
+    All services must share the packet capacity (the channel has one frame
+    size).  Positions are absolute packet indices in the super cycle.
+    """
+
+    def __init__(self, services: List[Service]) -> None:
+        if not services:
+            raise BroadcastError("need at least one service")
+        names = [s.name for s in services]
+        if len(set(names)) != len(names):
+            raise BroadcastError(f"duplicate service names: {names}")
+        capacities = {s.schedule.params.packet_capacity for s in services}
+        if len(capacities) != 1:
+            raise BroadcastError(
+                f"services use different packet capacities: {capacities}"
+            )
+        self.services: Dict[str, Service] = {}
+        self.offsets: Dict[str, int] = {}
+        position = 0
+        for service in services:
+            self.services[service.name] = service
+            self.offsets[service.name] = position
+            position += service.schedule.cycle_length
+        self.cycle_length = position
+
+    def service(self, name: str) -> Service:
+        try:
+            return self.services[name]
+        except KeyError:
+            raise BroadcastError(
+                f"unknown service {name!r}; have {sorted(self.services)}"
+            ) from None
+
+    # -- timeline -----------------------------------------------------------------
+
+    def _next_occurrence(self, positions: List[int], time: float) -> float:
+        """First absolute position >= *time* among per-super-cycle
+        *positions* (offsets within one super cycle)."""
+        base = (time // self.cycle_length) * self.cycle_length
+        candidates = [base + p for p in positions]
+        candidates += [base + self.cycle_length + p for p in positions]
+        return min(c for c in candidates if c >= time)
+
+    def next_index_start(self, name: str, time: float) -> float:
+        """Absolute position of the next index segment of *name*."""
+        service = self.service(name)
+        offset = self.offsets[name]
+        positions = [
+            offset + start for start in service.schedule.index_segment_starts
+        ]
+        return self._next_occurrence(positions, time)
+
+    def next_bucket_arrival(self, name: str, region_id: int, time: float) -> float:
+        service = self.service(name)
+        try:
+            in_cycle = service.schedule.bucket_position[region_id]
+        except KeyError:
+            raise BroadcastError(
+                f"region {region_id} not in service {name!r}"
+            ) from None
+        return self._next_occurrence([self.offsets[name] + in_cycle], time)
+
+    # -- client -------------------------------------------------------------------
+
+    def query(self, name: str, point: Point, issue_time: float) -> AccessResult:
+        """Full access protocol against one service of the super cycle."""
+        service = self.service(name)
+        segment_start = self.next_index_start(name, issue_time)
+        trace = service.paged_index.trace(point)
+        accessed = trace.packets_accessed
+        if any(b < a for a, b in zip(accessed, accessed[1:])):
+            raise BroadcastError("index traversal moved backwards")
+        index_done = segment_start + (accessed[-1] if accessed else 0) + 1
+        bucket_start = self.next_bucket_arrival(name, trace.region_id, index_done)
+        bucket_end = bucket_start + service.schedule.bucket_packets
+        return AccessResult(
+            region_id=trace.region_id,
+            access_latency=bucket_end - issue_time,
+            index_tuning_time=trace.tuning_time,
+            total_tuning_time=1 + trace.tuning_time + service.schedule.bucket_packets,
+            trace=trace,
+        )

@@ -1,0 +1,116 @@
+"""Packets and the paged-index protocol.
+
+Every index structure in this library, once *paged*, reduces to the same
+shape: an ordered list of fixed-capacity packets (the order is the index's
+broadcast order) plus a ``trace(point)`` operation that answers a point
+query and records which packets were read.  The broadcast scheduler and the
+client simulator only ever talk to this protocol, so all four index
+structures plug into one simulator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Sequence
+
+from repro.errors import PagingError
+from repro.geometry.point import Point
+
+
+class Packet:
+    """One fixed-capacity broadcast packet holding index fragments."""
+
+    __slots__ = ("packet_id", "capacity", "used", "contents")
+
+    def __init__(self, packet_id: int, capacity: int) -> None:
+        self.packet_id = packet_id
+        self.capacity = capacity
+        self.used = 0
+        #: Human-readable descriptions of the fragments in this packet
+        #: (node ids / node parts) — diagnostics only.
+        self.contents: List[str] = []
+
+    def __repr__(self) -> str:
+        return f"Packet(id={self.packet_id}, used={self.used}/{self.capacity})"
+
+    @property
+    def free(self) -> int:
+        """Remaining capacity in bytes."""
+        return self.capacity - self.used
+
+    def allocate(self, size: int, label: str) -> None:
+        """Claim *size* bytes for a fragment called *label*."""
+        if size > self.free:
+            raise PagingError(
+                f"fragment {label!r} ({size} B) does not fit packet "
+                f"{self.packet_id} (free {self.free} B)"
+            )
+        self.used += size
+        self.contents.append(label)
+
+
+class PacketStore:
+    """Growable sequence of packets in broadcast order."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise PagingError(f"packet capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.packets: List[Packet] = []
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def new_packet(self) -> Packet:
+        """Append an empty packet and return it."""
+        packet = Packet(len(self.packets), self.capacity)
+        self.packets.append(packet)
+        return packet
+
+    @property
+    def total_bytes_used(self) -> int:
+        return sum(p.used for p in self.packets)
+
+
+class QueryTrace:
+    """Result of a traced point query over a paged index."""
+
+    __slots__ = ("region_id", "packets_accessed")
+
+    def __init__(self, region_id: int, packets_accessed: Sequence[int]) -> None:
+        self.region_id = region_id
+        #: Chronological sequence of packet ids read during index search.
+        #: Ids refer to positions in the index's broadcast order; repeated
+        #: consecutive reads of the same packet are recorded once.
+        self.packets_accessed = list(packets_accessed)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryTrace(region={self.region_id}, "
+            f"packets={self.packets_accessed})"
+        )
+
+    @property
+    def tuning_time(self) -> int:
+        """Index-search tuning time in packet accesses (paper §5.2 unit)."""
+        return len(set(self.packets_accessed))
+
+
+class PagedIndex(Protocol):
+    """What the broadcast layer requires of a paged index structure."""
+
+    #: Packets in broadcast order.
+    packets: List[Packet]
+
+    def trace(self, point: Point) -> QueryTrace:
+        """Answer a point query, recording packet accesses."""
+        ...
+
+
+def dedupe_consecutive(sequence: Sequence[int]) -> List[int]:
+    """Collapse runs of equal packet ids (staying inside one packet while
+    reading consecutive fragments costs a single access)."""
+    out: List[int] = []
+    for item in sequence:
+        if not out or out[-1] != item:
+            out.append(item)
+    return out

@@ -1,0 +1,98 @@
+"""System parameters (paper Table 2).
+
+All sizes are in bytes.  A *coordinate* is one (x, y) pair stored in 4
+bytes (two 16-bit fixed-point axis values — the paper assigns "coordinate
+size" 4 bytes and measures partition sizes in "number of coordinates",
+i.e. number of points).  Scalar values (a lone x-coordinate in a trap-tree
+x-node, the RMC value of a multi-packet D-tree node) take half a
+coordinate, 2 bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BroadcastError
+
+#: Packet-capacity sweep of the evaluation: 64 bytes to 2 KB.
+PACKET_CAPACITIES = (64, 128, 256, 512, 1024, 2048)
+
+
+@dataclass(frozen=True)
+class SystemParameters:
+    """Byte sizes of index fields and data instances (Table 2)."""
+
+    #: Unique node/bucket id.
+    bid_size: int = 2
+    #: D-tree node header (multi-packet flag + partition style & size).
+    #: The trian/trap trees carry fixed-size payloads and need no header;
+    #: they use ``header_size = 0`` (see :meth:`for_index`).
+    header_size: int = 2
+    #: Pointer: type tag + offset to the beginning of the target.
+    #: 4 bytes for the D-tree / trian-tree / trap-tree; the R*-tree fits its
+    #: nodes to the packet capacity so a 2-byte in-packet offset suffices.
+    pointer_size: int = 4
+    #: One (x, y) coordinate pair.
+    coordinate_size: int = 4
+    #: One data instance (the broadcast payload of one region).
+    data_instance_size: int = 1024
+    #: Broadcast packet capacity in bytes.
+    packet_capacity: int = 256
+
+    def __post_init__(self) -> None:
+        for name in (
+            "bid_size",
+            "header_size",
+            "pointer_size",
+            "coordinate_size",
+            "data_instance_size",
+            "packet_capacity",
+        ):
+            value = getattr(self, name)
+            if name in ("header_size",):
+                if value < 0:
+                    raise BroadcastError(f"{name} must be >= 0, got {value}")
+            elif value <= 0:
+                raise BroadcastError(f"{name} must be positive, got {value}")
+        if self.packet_capacity < self.bid_size + self.pointer_size:
+            raise BroadcastError(
+                f"packet capacity {self.packet_capacity} cannot hold even a "
+                "bid and one pointer"
+            )
+
+    @property
+    def scalar_size(self) -> int:
+        """A single axis value (half a coordinate pair)."""
+        return self.coordinate_size // 2
+
+    @property
+    def data_packets_per_instance(self) -> int:
+        """Packets needed to broadcast one data instance."""
+        return -(-self.data_instance_size // self.packet_capacity)
+
+    def with_capacity(self, packet_capacity: int) -> "SystemParameters":
+        """Copy with a different packet capacity (the sweep variable)."""
+        return SystemParameters(
+            bid_size=self.bid_size,
+            header_size=self.header_size,
+            pointer_size=self.pointer_size,
+            coordinate_size=self.coordinate_size,
+            data_instance_size=self.data_instance_size,
+            packet_capacity=packet_capacity,
+        )
+
+    @classmethod
+    def for_index(cls, index_kind: str, packet_capacity: int = 256) -> "SystemParameters":
+        """Table-2 parameter set for one of the four index structures.
+
+        ``index_kind`` is one of ``"dtree"``, ``"trian"``, ``"trap"``,
+        ``"rstar"``.
+        """
+        kind = index_kind.lower()
+        if kind == "dtree":
+            return cls(header_size=2, pointer_size=4, packet_capacity=packet_capacity)
+        if kind in ("trian", "trap"):
+            return cls(header_size=0, pointer_size=4, packet_capacity=packet_capacity)
+        if kind == "rstar":
+            return cls(header_size=0, pointer_size=2, packet_capacity=packet_capacity)
+        raise BroadcastError(f"unknown index kind {index_kind!r}")

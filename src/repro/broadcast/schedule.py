@@ -1,0 +1,134 @@
+"""The (1, m) broadcast program of Imielinski et al.
+
+The full index is broadcast m times per cycle, once before every 1/m
+fraction of the data.  Each packet carries (conceptually) the offset of the
+next index segment, so a client probing at a random instant sleeps until
+the next index copy, searches it, then sleeps until its data bucket.
+
+The optimal m for a flat broadcast minimises expected access latency
+
+    L(m) = (I + D / m) / 2        (probe -> next index segment)
+         + (m * I + D) / 2        (index segment -> data bucket)
+
+whose real minimiser is m* = sqrt(D / I); we pick the best integer
+neighbour exactly.  ``I`` is the index size and ``D`` the data size, both
+in packets.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import BroadcastError
+from repro.broadcast.params import SystemParameters
+
+
+def expected_latency_formula(index_packets: int, data_packets: int, m: int) -> float:
+    """Analytic expected access latency (packets) for the (1, m) scheme."""
+    if m < 1:
+        raise BroadcastError(f"m must be >= 1, got {m}")
+    probe_wait = (index_packets + data_packets / m) / 2.0
+    bcast_wait = (m * index_packets + data_packets) / 2.0
+    return probe_wait + bcast_wait
+
+
+def optimal_m(index_packets: int, data_packets: int) -> int:
+    """Best integer replication factor for the (1, m) scheme."""
+    if index_packets <= 0:
+        return 1
+    if data_packets <= 0:
+        raise BroadcastError("no data to broadcast")
+    m_star = math.sqrt(data_packets / index_packets)
+    candidates = {max(1, math.floor(m_star)), math.ceil(m_star), 1}
+    return min(
+        candidates,
+        key=lambda m: expected_latency_formula(index_packets, data_packets, m),
+    )
+
+
+class BroadcastSchedule:
+    """A concrete packet timeline for one broadcast cycle.
+
+    The cycle consists of m segments; segment j is the full index followed
+    by the j-th chunk of the data buckets (flat broadcast, buckets in
+    region-id order, chunks as even as possible).
+    """
+
+    def __init__(
+        self,
+        index_packet_count: int,
+        region_ids: Sequence[int],
+        params: SystemParameters,
+        m: int = None,
+    ) -> None:
+        if not region_ids:
+            raise BroadcastError("schedule needs at least one data bucket")
+        self.params = params
+        self.index_packet_count = index_packet_count
+        self.region_ids = list(region_ids)
+        self.bucket_packets = params.data_packets_per_instance
+        self.data_packet_count = self.bucket_packets * len(self.region_ids)
+        if m is None:
+            m = optimal_m(index_packet_count, self.data_packet_count)
+        if m < 1:
+            raise BroadcastError(f"m must be >= 1, got {m}")
+        self.m = min(m, len(self.region_ids))  # no more segments than buckets
+        self._build_timeline()
+
+    def _build_timeline(self) -> None:
+        """Compute absolute positions of index segments and data buckets."""
+        n = len(self.region_ids)
+        base, extra = divmod(n, self.m)
+        #: (start_position, bucket_count) of each segment's data chunk.
+        self.index_segment_starts: List[int] = []
+        #: region id -> absolute packet position of its bucket's first packet.
+        self.bucket_position: Dict[int, int] = {}
+        pos = 0
+        next_bucket = 0
+        for segment in range(self.m):
+            self.index_segment_starts.append(pos)
+            pos += self.index_packet_count
+            chunk = base + (1 if segment < extra else 0)
+            for _ in range(chunk):
+                region = self.region_ids[next_bucket]
+                self.bucket_position[region] = pos
+                pos += self.bucket_packets
+                next_bucket += 1
+        self.cycle_length = pos
+        if next_bucket != n:
+            raise BroadcastError("internal error: buckets not fully scheduled")
+
+    # -- timeline queries ---------------------------------------------------
+
+    def next_index_start(self, time: float) -> int:
+        """Absolute position of the first index segment starting at or
+        after *time* (wrapping into the next cycle when needed)."""
+        cycle, offset = divmod(time, self.cycle_length)
+        for start in self.index_segment_starts:
+            if start >= offset:
+                return int(cycle) * self.cycle_length + start
+        return (int(cycle) + 1) * self.cycle_length + self.index_segment_starts[0]
+
+    def next_bucket_arrival(self, region_id: int, time: float) -> int:
+        """Absolute position of the next broadcast of *region_id*'s bucket
+        at or after *time*."""
+        try:
+            in_cycle = self.bucket_position[region_id]
+        except KeyError:
+            raise BroadcastError(f"region {region_id} not in schedule") from None
+        cycle, offset = divmod(time, self.cycle_length)
+        if in_cycle >= offset:
+            return int(cycle) * self.cycle_length + in_cycle
+        return (int(cycle) + 1) * self.cycle_length + in_cycle
+
+    @property
+    def index_overhead_packets(self) -> int:
+        """Total index packets per cycle (m copies)."""
+        return self.m * self.index_packet_count
+
+    def __repr__(self) -> str:
+        return (
+            f"BroadcastSchedule(m={self.m}, index={self.index_packet_count}p, "
+            f"data={self.data_packet_count}p, cycle={self.cycle_length}p)"
+        )

@@ -1,0 +1,122 @@
+"""Command-line experiment driver: ``python -m repro <figure> [options]``.
+
+Examples::
+
+    python -m repro figure10 --scale quick
+    python -m repro figure12 --scale paper --queries 2000
+    python -m repro all --scale quick
+    python -m repro ablations
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.ablations import (
+    ablation_early_termination,
+    ablation_extended_styles,
+    ablation_interleaving,
+    ablation_tie_break,
+    ablation_top_down_paging,
+)
+from repro.experiments.charts import render_figure_charts
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import figure10, figure11, figure12, figure13
+from repro.experiments.report import render_matrix
+from repro.experiments.runner import ExperimentMatrix
+
+_FIGURES = {
+    "figure10": figure10,
+    "figure11": figure11,
+    "figure12": figure12,
+    "figure13": figure13,
+}
+
+
+def _config_for(scale: str, queries: Optional[int], seed: int) -> ExperimentConfig:
+    if scale == "paper":
+        return ExperimentConfig.paper(queries=queries or 2000, seed=seed)
+    if scale == "quick":
+        return ExperimentConfig.quick(queries=queries or 400, seed=seed)
+    raise SystemExit(f"unknown scale {scale!r} (use 'paper' or 'quick')")
+
+
+def _run_ablations() -> None:
+    print("== A1: inter-prob tie-break (mean index tuning, packets) ==")
+    for label, row in ablation_tie_break().items():
+        print(f"  {label:<22} {row}")
+    print("== A2: RMC/LMC early termination (mean index tuning, packets) ==")
+    for label, row in ablation_early_termination().items():
+        print(f"  {label:<22} {row}")
+    print("== A3: top-down paging (index packets / tuning) ==")
+    for label, row in ablation_top_down_paging().items():
+        print(f"  {label:<22} {row}")
+    print("== A4: (1, m) interleaving (normalized latency) ==")
+    for label, row in ablation_interleaving().items():
+        print(f"  {label:<22} {row}")
+    print("== A5 (extension): complement-extent styles (packets / tuning) ==")
+    for label, row in ablation_extended_styles().items():
+        print(f"  {label:<22} {row}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the D-tree paper's figures (ICDE 2003).",
+    )
+    parser.add_argument(
+        "target",
+        choices=sorted(_FIGURES) + ["all", "ablations"],
+        help="which figure(s) to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        default="quick",
+        choices=("quick", "paper"),
+        help="dataset scale: 'paper' = N of the original evaluation",
+    )
+    parser.add_argument("--queries", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render each figure as an ASCII chart",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        default=None,
+        help="also write each figure's series as CSV into this directory",
+    )
+    args = parser.parse_args(argv)
+
+    if args.target == "ablations":
+        _run_ablations()
+        return 0
+
+    config = _config_for(args.scale, args.queries, args.seed)
+    matrix = ExperimentMatrix(config)
+    targets = sorted(_FIGURES) if args.target == "all" else [args.target]
+    for name in targets:
+        start = time.time()
+        result = _FIGURES[name](matrix=matrix)
+        print(render_matrix(result))
+        if args.chart:
+            print()
+            print(render_figure_charts(result))
+        if args.csv_dir:
+            import pathlib
+
+            out_dir = pathlib.Path(args.csv_dir)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            out_file = out_dir / f"{name}.csv"
+            out_file.write_text(result.to_csv())
+            print(f"[wrote {out_file}]")
+        print(f"[{name} done in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

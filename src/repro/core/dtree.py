@@ -1,0 +1,242 @@
+"""The binary D-tree: construction and logical query (§4.1, §4.3).
+
+The tree recursively halves the region count, so it is height-balanced by
+construction (property 3) and a point query visits Θ(log N) nodes
+(property 4).  Children are either :class:`DTreeNode` (subspace with more
+than one region) or a bare region id (data pointer).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Union
+
+from repro.errors import IndexBuildError, QueryError
+from repro.geometry.point import Point
+from repro.tessellation.subdivision import Subdivision
+from repro.core.partition import Partition, best_partition
+
+Child = Union["DTreeNode", int]
+
+
+class DTreeNode:
+    """An internal or leaf node of the binary D-tree.
+
+    In the paper's terms a *leaf* node is one whose two children are data
+    pointers; structurally both kinds carry a partition and two children
+    (property 1: every node has exactly two children).
+    """
+
+    __slots__ = ("node_id", "partition", "left", "right", "level")
+
+    def __init__(
+        self,
+        node_id: int,
+        partition: Partition,
+        left: Child,
+        right: Child,
+        level: int,
+    ) -> None:
+        self.node_id = node_id
+        self.partition = partition
+        #: Left child: regions of the first (lefthand/upper) subspace.
+        self.left = left
+        #: Right child: regions of the second (righthand/lower) subspace.
+        self.right = right
+        self.level = level
+
+    def __repr__(self) -> str:
+        return (
+            f"DTreeNode(id={self.node_id}, dim={self.partition.dimension}, "
+            f"size={self.partition.size})"
+        )
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when both children are data pointers."""
+        return not isinstance(self.left, DTreeNode) and not isinstance(
+            self.right, DTreeNode
+        )
+
+    def child_for(self, p: Point) -> Child:
+        """Follow the partition's side test (Algorithm 2 inner step)."""
+        side = self.partition.side_of(p)
+        return self.left if side == "first" else self.right
+
+
+class DTree:
+    """The binary D-tree over a subdivision."""
+
+    def __init__(self, subdivision: Subdivision, root: Optional[DTreeNode]) -> None:
+        self.subdivision = subdivision
+        #: None only for the degenerate single-region subdivision.
+        self.root = root
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        subdivision: Subdivision,
+        tie_break_inter_prob: bool = True,
+        extended_styles: bool = False,
+    ) -> "DTree":
+        """Recursively partition the subdivision into a binary D-tree.
+
+        ``tie_break_inter_prob`` switches the §4.2 tie-break (the A1
+        ablation disables it).  ``extended_styles`` also considers
+        complement-extent partitions (extension beyond the paper) which
+        can shrink top-level nodes considerably.
+        """
+        counter = [0]
+
+        def make(region_ids: Sequence[int], level: int) -> Child:
+            if len(region_ids) == 1:
+                return region_ids[0]
+            partition = best_partition(
+                subdivision,
+                region_ids,
+                tie_break_inter_prob=tie_break_inter_prob,
+                extended_styles=extended_styles,
+            )
+            node_id = counter[0]
+            counter[0] += 1
+            left = make(partition.first_ids, level + 1)
+            right = make(partition.second_ids, level + 1)
+            return DTreeNode(node_id, partition, left, right, level)
+
+        ids = subdivision.region_ids
+        if len(ids) == 1:
+            return cls(subdivision, None)
+        root = make(ids, 0)
+        if not isinstance(root, DTreeNode):
+            raise IndexBuildError("D-tree build produced no root node")
+        return cls(subdivision, root)
+
+    # -- queries ----------------------------------------------------------------
+
+    def locate(self, p: Point) -> int:
+        """Algorithm 2: id of the data region containing *p*.
+
+        Queries exactly on a region boundary are measure-zero and follow
+        the paper's closed D1/D3 comparisons: a point exactly on a
+        partition line may resolve to either adjacent region (and, at a
+        shared vertex, to any region incident to it).  All generic (off-
+        boundary) queries return the unique containing region.
+        """
+        if not self.subdivision.service_area.contains_point(p):
+            raise QueryError(f"{p!r} outside the service area")
+        if self.root is None:
+            return self.subdivision.regions[0].region_id
+        node: Child = self.root
+        while isinstance(node, DTreeNode):
+            node = node.child_for(p)
+        return node
+
+    def window_query(self, window) -> List[int]:
+        """Regions intersecting an axis-aligned rectangle (extension).
+
+        The paper's D-tree answers point queries; the same structure also
+        prunes window queries: a window entirely inside one exclusive zone
+        (D1/D3) needs only that subtree, otherwise both are explored.  The
+        descent yields a candidate superset which is then filtered by an
+        exact polygon/rectangle intersection test, so the result is exact.
+        Returns sorted region ids.
+        """
+        if self.root is None:
+            only = self.subdivision.regions[0]
+            return [only.region_id] if only.polygon.intersects_rect(window) else []
+
+        candidates: List[int] = []
+
+        def descend(child: Child) -> None:
+            if not isinstance(child, DTreeNode):
+                candidates.append(child)
+                return
+            part = child.partition
+            if part.dimension == "y":
+                lo, hi = window.min_x, window.max_x
+                in_d1 = hi < part.first_bound
+                in_d3 = lo > part.second_bound
+            else:
+                lo, hi = window.min_y, window.max_y
+                in_d1 = lo > part.first_bound
+                in_d3 = hi < part.second_bound
+            if in_d1:
+                descend(child.left)
+            elif in_d3:
+                descend(child.right)
+            else:
+                descend(child.left)
+                descend(child.right)
+
+        descend(self.root)
+        return sorted(
+            rid
+            for rid in candidates
+            if self.subdivision.region(rid).polygon.intersects_rect(window)
+        )
+
+    # -- structure accessors ------------------------------------------------------
+
+    def nodes_breadth_first(self) -> List[DTreeNode]:
+        """All nodes level by level — the broadcast/paging order (§5)."""
+        if self.root is None:
+            return []
+        out: List[DTreeNode] = []
+        frontier: List[DTreeNode] = [self.root]
+        while frontier:
+            out.extend(frontier)
+            nxt: List[DTreeNode] = []
+            for node in frontier:
+                for child in (node.left, node.right):
+                    if isinstance(child, DTreeNode):
+                        nxt.append(child)
+            frontier = nxt
+        return out
+
+    def iter_nodes(self) -> Iterator[DTreeNode]:
+        """Depth-first iteration over all nodes."""
+        if self.root is None:
+            return
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in (node.right, node.left):
+                if isinstance(child, DTreeNode):
+                    stack.append(child)
+
+    @property
+    def node_count(self) -> int:
+        return sum(1 for _ in self.iter_nodes())
+
+    @property
+    def height(self) -> int:
+        """Longest root-to-data-pointer path length in nodes."""
+
+        def depth(child: Child) -> int:
+            if not isinstance(child, DTreeNode):
+                return 0
+            return 1 + max(depth(child.left), depth(child.right))
+
+        return depth(self.root) if self.root is not None else 0
+
+    def check_height_balanced(self) -> bool:
+        """Property 3: leaf levels differ by at most one."""
+        leaf_levels = set()
+
+        def walk(child: Child, level: int) -> None:
+            if not isinstance(child, DTreeNode):
+                leaf_levels.add(level)
+                return
+            walk(child.left, level + 1)
+            walk(child.right, level + 1)
+
+        if self.root is None:
+            return True
+        walk(self.root, 0)
+        return max(leaf_levels) - min(leaf_levels) <= 1
+
+    def total_partition_coordinates(self) -> int:
+        """Sum of partition sizes over all nodes (index payload size)."""
+        return sum(node.partition.size for node in self.iter_nodes())

@@ -1,0 +1,409 @@
+"""Space partitioning — Algorithm 1 (PartitionSize) and style selection.
+
+A *partition style* fixes three choices (§4.2):
+
+* the partition dimension — ``"y"`` (left/right subspaces, regions sorted
+  by an x-coordinate) or ``"x"`` (upper/lower subspaces, sorted by a
+  y-coordinate);
+* the sort key — the regions' near or far bounding coordinate along that
+  axis (leftmost/rightmost x, lowest/uppermost y);
+* when N is odd, whether the first subspace receives (N+1)/2 or (N-1)/2
+  regions.
+
+That yields 4 styles for even N and 8 for odd N.  Each style is evaluated
+by the size (coordinate count) of the pruned division it produces; ties are
+broken by the lower *inter-prob* — the probability that a uniform query
+falls in the interlocking zone D2 shared by both subspaces, where the
+cheap D1/D3 early tests cannot decide the side.
+
+Terminology used throughout (generalising the paper's y-dimensional
+description):
+
+* the **first** subspace is the lefthand (dimension "y") or upper
+  (dimension "x") one — it becomes the left subtree;
+* ``first_bound`` bounds the exclusive zone D1 of the first subspace
+  (the paper's ``right_lmc`` for dimension "y");
+* ``second_bound`` bounds the exclusive zone D3 of the second subspace
+  (the paper's ``left_rmc``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import IndexBuildError
+from repro.geometry.point import Point
+from repro.geometry.polyline import Polyline, chain_segments, total_coordinate_count
+from repro.geometry.segment import Segment
+from repro.tessellation.subdivision import Subdivision
+
+
+class PartitionStyle:
+    """One of the candidate ways to split a space (§4.2).
+
+    ``described`` is an extension beyond the paper: the stored boundary can
+    be the extent of either subspace ("first" — the paper's choice — or
+    "second", with the ray-parity test mirrored).  Describing whichever
+    subspace has the smaller pruned extent can substantially shrink
+    top-level partitions; ``enumerate_styles(extended=True)`` doubles the
+    candidate set to exploit this.
+    """
+
+    __slots__ = ("dimension", "sort_key", "first_count", "described")
+
+    def __init__(
+        self,
+        dimension: str,
+        sort_key: str,
+        first_count: int,
+        described: str = "first",
+    ) -> None:
+        if dimension not in ("x", "y"):
+            raise IndexBuildError(f"dimension must be 'x' or 'y', got {dimension!r}")
+        if sort_key not in ("near", "far"):
+            raise IndexBuildError(f"sort_key must be 'near' or 'far', got {sort_key!r}")
+        if described not in ("first", "second"):
+            raise IndexBuildError(
+                f"described must be 'first' or 'second', got {described!r}"
+            )
+        self.dimension = dimension
+        #: "near"/"far" relative to the first subspace: for dimension "y"
+        #: near = leftmost x, far = rightmost x; for dimension "x"
+        #: near = uppermost y, far = lowest y.
+        self.sort_key = sort_key
+        self.first_count = first_count
+        #: Which subspace's extent the partition stores.
+        self.described = described
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionStyle(dim={self.dimension!r}, key={self.sort_key!r}, "
+            f"first={self.first_count}, described={self.described!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PartitionStyle):
+            return NotImplemented
+        return (
+            self.dimension == other.dimension
+            and self.sort_key == other.sort_key
+            and self.first_count == other.first_count
+            and self.described == other.described
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.dimension, self.sort_key, self.first_count, self.described)
+        )
+
+
+class Partition:
+    """The evaluated division produced by one partition style."""
+
+    __slots__ = (
+        "style",
+        "first_ids",
+        "second_ids",
+        "polylines",
+        "size",
+        "first_bound",
+        "second_bound",
+        "inter_prob",
+    )
+
+    def __init__(
+        self,
+        style: PartitionStyle,
+        first_ids: List[int],
+        second_ids: List[int],
+        polylines: List[Polyline],
+        first_bound: float,
+        second_bound: float,
+        inter_prob: float,
+    ) -> None:
+        self.style = style
+        self.first_ids = first_ids
+        self.second_ids = second_ids
+        self.polylines = polylines
+        #: Partition size in coordinates — the style-selection criterion.
+        self.size = total_coordinate_count(polylines)
+        self.first_bound = first_bound
+        self.second_bound = second_bound
+        self.inter_prob = inter_prob
+
+    def __repr__(self) -> str:
+        return (
+            f"Partition({self.style!r}, size={self.size}, "
+            f"inter_prob={self.inter_prob:.3f})"
+        )
+
+    @property
+    def dimension(self) -> str:
+        return self.style.dimension
+
+    def early_side_of(self, p: Point) -> Optional[str]:
+        """D1/D3 exclusive-zone test only — what a client can decide from
+        the *first* packet of a multi-packet node, which carries the RMC
+        value and the LMC starting point of the partition (§4.4).
+
+        Returns ``"first"``/``"second"``, or None when *p* lies in the
+        interlocking zone D2 and the full partition must be read.
+        """
+        if self.dimension == "y":
+            if p.x <= self.first_bound:
+                return "first"
+            if p.x >= self.second_bound:
+                return "second"
+            return None
+        if p.y >= self.first_bound:
+            return "first"
+        if p.y <= self.second_bound:
+            return "second"
+        return None
+
+    def side_of(self, p: Point) -> str:
+        """Which subspace contains *p*: ``"first"`` or ``"second"``.
+
+        This is the decision step of Algorithm 2 (lines 4-26): the D1/D3
+        exclusive-zone comparisons first, then the ray-parity test for
+        queries in the interlocking zone D2.  When the partition describes
+        the *second* subspace (extension), the ray is cast toward the
+        first subspace's side and odd parity means "second".
+        """
+        early = self.early_side_of(p)
+        if early is not None:
+            return early
+        crossings = self.ray_crossings(p)
+        if self.style.described == "first":
+            return "first" if crossings % 2 == 1 else "second"
+        return "second" if crossings % 2 == 1 else "first"
+
+    def ray_crossings(self, p: Point) -> int:
+        """Crossings of the side-test ray with the stored polylines.
+
+        Ray direction by (dimension, described): y/first -> right,
+        y/second -> left, x/first -> down, x/second -> up.
+        """
+        crossings = 0
+        described_first = self.style.described == "first"
+        if self.dimension == "y":
+            for pl in self.polylines:
+                for a, b in pl.segment_endpoints():
+                    if (a.y > p.y) != (b.y > p.y):
+                        x_at = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x)
+                        if described_first:
+                            if x_at > p.x:
+                                crossings += 1
+                        elif x_at < p.x:
+                            crossings += 1
+        else:
+            for pl in self.polylines:
+                for a, b in pl.segment_endpoints():
+                    if (a.x > p.x) != (b.x > p.x):
+                        y_at = a.y + (p.x - a.x) / (b.x - a.x) * (b.y - a.y)
+                        if described_first:
+                            if y_at < p.y:
+                                crossings += 1
+                        elif y_at > p.y:
+                            crossings += 1
+        return crossings
+
+
+def enumerate_styles(
+    n_regions: int, extended: bool = False
+) -> List[PartitionStyle]:
+    """The 4 (even N) or 8 (odd N) candidate styles of §4.2.
+
+    ``extended=True`` doubles the set with complement-extent variants
+    (``described="second"``) — an extension beyond the paper.
+    """
+    if n_regions < 2:
+        raise IndexBuildError("cannot partition fewer than two regions")
+    half = n_regions // 2
+    counts = [half] if n_regions % 2 == 0 else [half, half + 1]
+    described_options = ("first", "second") if extended else ("first",)
+    return [
+        PartitionStyle(dimension, sort_key, count, described)
+        for dimension in ("y", "x")
+        for sort_key in ("near", "far")
+        for count in counts
+        for described in described_options
+    ]
+
+
+def evaluate_style(
+    subdivision: Subdivision,
+    region_ids: Sequence[int],
+    style: PartitionStyle,
+) -> Partition:
+    """Algorithm 1: split the regions per *style* and size the division.
+
+    Phase 1 sorts the regions and extracts the extent (full union boundary)
+    of the first subspace by edge cancellation.  Phase 2 prunes extent
+    segments that lie entirely inside the first subspace's exclusive zone
+    D1 — the side test's ray can never reach them — and truncates segments
+    crossing the D1 boundary line.
+    """
+    ordered = _sort_regions(subdivision, region_ids, style)
+    first_ids = ordered[: style.first_count]
+    second_ids = ordered[style.first_count :]
+    if not first_ids or not second_ids:
+        raise IndexBuildError(
+            f"style {style!r} yields an empty subspace for {len(ordered)} regions"
+        )
+
+    described_ids = first_ids if style.described == "first" else second_ids
+    extent = subdivision.boundary_of_subset(described_ids)
+
+    if style.dimension == "y":
+        # D1: x <= first_bound (nothing of the second subspace is there).
+        first_bound = min(
+            subdivision.region(rid).polygon.leftmost_x for rid in second_ids
+        )
+        second_bound = max(
+            subdivision.region(rid).polygon.rightmost_x for rid in first_ids
+        )
+        if style.described == "first":
+            # Keep the first subspace's boundary right of the D1 line
+            # (reachable by the rightward ray).
+            kept = _prune_extent_y(extent, first_bound, keep="right")
+        else:
+            # Keep the second subspace's boundary left of the D3 line
+            # (reachable by the leftward ray).
+            kept = _prune_extent_y(extent, second_bound, keep="left")
+        axis_lo = min(subdivision.region(rid).polygon.leftmost_x for rid in ordered)
+        axis_hi = max(subdivision.region(rid).polygon.rightmost_x for rid in ordered)
+        overlap = max(0.0, second_bound - first_bound)
+    else:
+        # D1: y >= first_bound.
+        first_bound = max(
+            subdivision.region(rid).polygon.uppermost_y for rid in second_ids
+        )
+        second_bound = min(
+            subdivision.region(rid).polygon.lowest_y for rid in first_ids
+        )
+        if style.described == "first":
+            kept = _prune_extent_x(extent, first_bound, keep="below")
+        else:
+            kept = _prune_extent_x(extent, second_bound, keep="above")
+        axis_lo = min(subdivision.region(rid).polygon.lowest_y for rid in ordered)
+        axis_hi = max(subdivision.region(rid).polygon.uppermost_y for rid in ordered)
+        overlap = max(0.0, first_bound - second_bound)
+
+    span = max(axis_hi - axis_lo, 1e-12)
+    inter_prob = min(1.0, overlap / span)
+    polylines = chain_segments(kept)
+    return Partition(
+        style=style,
+        first_ids=list(first_ids),
+        second_ids=list(second_ids),
+        polylines=polylines,
+        first_bound=first_bound,
+        second_bound=second_bound,
+        inter_prob=inter_prob,
+    )
+
+
+def best_partition(
+    subdivision: Subdivision,
+    region_ids: Sequence[int],
+    tie_break_inter_prob: bool = True,
+    extended_styles: bool = False,
+) -> Partition:
+    """Evaluate every candidate style and pick the best one (§4.2).
+
+    Primary criterion: smallest partition size (coordinate count).
+    Tie-break: lowest inter-prob (disabled for the A1 ablation, which then
+    falls back to the deterministic style enumeration order).
+    ``extended_styles`` adds the complement-extent variants (extension).
+    """
+    candidates = [
+        evaluate_style(subdivision, region_ids, style)
+        for style in enumerate_styles(len(region_ids), extended=extended_styles)
+    ]
+    if tie_break_inter_prob:
+        return min(candidates, key=lambda part: (part.size, part.inter_prob))
+    return min(candidates, key=lambda part: part.size)
+
+
+def _sort_regions(
+    subdivision: Subdivision, region_ids: Sequence[int], style: PartitionStyle
+) -> List[int]:
+    """Order regions so the first ``first_count`` form the first subspace.
+
+    Dimension "y": ascending x (first = lefthand).  Dimension "x":
+    descending y (first = upper).  Region id breaks sort-key ties so the
+    construction is deterministic.
+    """
+    if style.dimension == "y":
+        if style.sort_key == "far":
+            key = lambda rid: (subdivision.region(rid).polygon.rightmost_x, rid)
+        else:
+            key = lambda rid: (subdivision.region(rid).polygon.leftmost_x, rid)
+        return sorted(region_ids, key=key)
+    if style.sort_key == "far":
+        key = lambda rid: (-subdivision.region(rid).polygon.lowest_y, rid)
+    else:
+        key = lambda rid: (-subdivision.region(rid).polygon.uppermost_y, rid)
+    return sorted(region_ids, key=key)
+
+
+def _prune_extent_y(
+    extent: Sequence[Segment], line_x: float, keep: str = "right"
+) -> List[Segment]:
+    """Keep the extent parts on one side of a vertical line (dimension "y"
+    pruning, Algorithm 1 lines 5-16; ``keep="left"`` is the mirrored
+    complement-extent variant)."""
+    right = keep == "right"
+    kept: List[Segment] = []
+    for seg in extent:
+        if (seg.min_x >= line_x) if right else (seg.max_x <= line_x):
+            # Entirely on the kept side — includes a division segment
+            # lying exactly on the line.
+            kept.append(seg)
+            continue
+        if (seg.max_x <= line_x) if right else (seg.min_x >= line_x):
+            continue  # the test ray cannot reach it
+        cut = _cut_at_x(seg, line_x)
+        if right:
+            far = seg.a if seg.a.x > seg.b.x else seg.b
+        else:
+            far = seg.a if seg.a.x < seg.b.x else seg.b
+        if far != cut:
+            kept.append(Segment(cut, far))
+    return kept
+
+
+def _prune_extent_x(
+    extent: Sequence[Segment], line_y: float, keep: str = "below"
+) -> List[Segment]:
+    """Keep the extent parts on one side of a horizontal line (dimension
+    "x" pruning; ``keep="above"`` is the mirrored complement variant)."""
+    below = keep == "below"
+    kept: List[Segment] = []
+    for seg in extent:
+        if (seg.max_y <= line_y) if below else (seg.min_y >= line_y):
+            kept.append(seg)
+            continue
+        if (seg.min_y >= line_y) if below else (seg.max_y <= line_y):
+            continue  # the test ray cannot reach it
+        cut = _cut_at_y(seg, line_y)
+        if below:
+            far = seg.a if seg.a.y < seg.b.y else seg.b
+        else:
+            far = seg.a if seg.a.y > seg.b.y else seg.b
+        if far != cut:
+            kept.append(Segment(cut, far))
+    return kept
+
+
+def _cut_at_x(seg: Segment, x: float) -> Point:
+    """Point where *seg* crosses the vertical line at *x*."""
+    t = (x - seg.a.x) / (seg.b.x - seg.a.x)
+    return Point(x, seg.a.y + t * (seg.b.y - seg.a.y))
+
+
+def _cut_at_y(seg: Segment, y: float) -> Point:
+    """Point where *seg* crosses the horizontal line at *y*."""
+    t = (y - seg.a.y) / (seg.b.y - seg.a.y)
+    return Point(seg.a.x + t * (seg.b.x - seg.a.x), y)

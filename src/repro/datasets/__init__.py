@@ -1,0 +1,30 @@
+"""The three evaluation datasets of §5 (and generators behind them).
+
+UNIFORM is generated exactly as in the paper (1000 uniform random points in
+a square).  HOSPITAL (N=185) and PARK (N=1102) stand in for the Southern
+California point sets of the original evaluation, which are no longer
+available; seeded Gaussian-mixture generators reproduce their defining
+property — strongly clustered sites yielding highly skewed Voronoi region
+sizes (see DESIGN.md, substitutions).
+"""
+
+from repro.datasets.generators import uniform_points, clustered_points
+from repro.datasets.catalog import (
+    Dataset,
+    uniform_dataset,
+    hospital_dataset,
+    park_dataset,
+    dataset_by_name,
+    DATASET_NAMES,
+)
+
+__all__ = [
+    "uniform_points",
+    "clustered_points",
+    "Dataset",
+    "uniform_dataset",
+    "hospital_dataset",
+    "park_dataset",
+    "dataset_by_name",
+    "DATASET_NAMES",
+]

@@ -1,0 +1,112 @@
+"""The three named datasets of the paper's evaluation (§5, Figure 9)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.datasets.generators import clustered_points, uniform_points
+from repro.tessellation.subdivision import Subdivision
+from repro.tessellation.voronoi import voronoi_subdivision
+
+#: Service area used by every dataset: the unit square.
+SERVICE_AREA = Rect(0.0, 0.0, 1.0, 1.0)
+
+#: Cluster anchors for the HOSPITAL/PARK stand-ins.  The arrangement mimics
+#: the Southern-California layout of the original datasets: a dense
+#: coastal band plus a few inland clusters.
+_SOCAL_CLUSTERS = [
+    (0.15, 0.25),
+    (0.25, 0.35),
+    (0.35, 0.30),
+    (0.45, 0.40),
+    (0.55, 0.35),
+    (0.70, 0.55),
+    (0.30, 0.65),
+    (0.80, 0.75),
+]
+
+
+class Dataset:
+    """A named point set together with its Voronoi valid scopes.
+
+    The subdivision is built lazily (Voronoi construction over 1000+ sites
+    is not free) and cached on first access.
+    """
+
+    def __init__(self, name: str, points: List[Point], payload_size: int = 1024):
+        self.name = name
+        self.points = points
+        self.payload_size = payload_size
+        self._subdivision: Optional[Subdivision] = None
+
+    def __repr__(self) -> str:
+        return f"Dataset({self.name!r}, n={len(self.points)})"
+
+    @property
+    def n(self) -> int:
+        """Number of data instances."""
+        return len(self.points)
+
+    @property
+    def subdivision(self) -> Subdivision:
+        """Voronoi subdivision of the sites (built on first access)."""
+        if self._subdivision is None:
+            self._subdivision = voronoi_subdivision(
+                self.points, SERVICE_AREA, payload_size=self.payload_size
+            )
+        return self._subdivision
+
+
+def uniform_dataset(n: int = 1000, seed: int = 42) -> Dataset:
+    """UNIFORM: *n* random points in a square (paper default n=1000)."""
+    return Dataset(f"UNIFORM", uniform_points(n, seed, SERVICE_AREA))
+
+
+def hospital_dataset(n: int = 185, seed: int = 185) -> Dataset:
+    """HOSPITAL stand-in: N=185 strongly clustered points (see DESIGN.md)."""
+    points = clustered_points(
+        n,
+        seed,
+        cluster_centers=_SOCAL_CLUSTERS,
+        cluster_spread=0.05,
+        noise_fraction=0.12,
+        service_area=SERVICE_AREA,
+    )
+    return Dataset("HOSPITAL", points)
+
+
+def park_dataset(n: int = 1102, seed: int = 1102) -> Dataset:
+    """PARK stand-in: N=1102 strongly clustered points (see DESIGN.md)."""
+    points = clustered_points(
+        n,
+        seed,
+        cluster_centers=_SOCAL_CLUSTERS,
+        cluster_spread=0.06,
+        noise_fraction=0.10,
+        service_area=SERVICE_AREA,
+    )
+    return Dataset("PARK", points)
+
+
+#: Canonical dataset order used throughout the figures.
+DATASET_NAMES = ("UNIFORM", "HOSPITAL", "PARK")
+
+_FACTORIES: Dict[str, Callable[[], Dataset]] = {
+    "UNIFORM": uniform_dataset,
+    "HOSPITAL": hospital_dataset,
+    "PARK": park_dataset,
+}
+
+
+def dataset_by_name(name: str) -> Dataset:
+    """Dataset with the paper's cardinality and a fixed seed."""
+    try:
+        factory = _FACTORIES[name.upper()]
+    except KeyError:
+        raise ReproError(
+            f"unknown dataset {name!r}; expected one of {DATASET_NAMES}"
+        ) from None
+    return factory()

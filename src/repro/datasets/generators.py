@@ -1,0 +1,92 @@
+"""Seeded point-set generators for the evaluation datasets."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import SubdivisionError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+#: Minimum pairwise separation (relative to the service-area diagonal) that
+#: keeps Voronoi construction numerically healthy.
+MIN_SEPARATION_FACTOR = 1e-4
+
+
+def uniform_points(
+    n: int, seed: int, service_area: Optional[Rect] = None
+) -> List[Point]:
+    """*n* uniform random points, deduplicated to a minimum separation."""
+    if service_area is None:
+        service_area = Rect(0.0, 0.0, 1.0, 1.0)
+    rng = random.Random(seed)
+    min_sep = _min_separation(service_area)
+    points: List[Point] = []
+    attempts = 0
+    while len(points) < n:
+        attempts += 1
+        if attempts > 100 * n:
+            raise SubdivisionError(f"could not place {n} separated points")
+        p = Point(
+            rng.uniform(service_area.min_x, service_area.max_x),
+            rng.uniform(service_area.min_y, service_area.max_y),
+        )
+        if _far_enough(p, points, min_sep):
+            points.append(p)
+    return points
+
+
+def clustered_points(
+    n: int,
+    seed: int,
+    cluster_centers: Sequence[Tuple[float, float]],
+    cluster_spread: float,
+    noise_fraction: float = 0.1,
+    service_area: Optional[Rect] = None,
+) -> List[Point]:
+    """*n* points drawn from a Gaussian mixture plus uniform noise.
+
+    Each non-noise point picks a cluster center uniformly and adds Gaussian
+    offsets with standard deviation ``cluster_spread`` (in service-area
+    units), rejected outside the service area.  ``noise_fraction`` of the
+    points are uniform over the whole area, mimicking the scattered
+    outliers of the real HOSPITAL/PARK point sets.
+    """
+    if service_area is None:
+        service_area = Rect(0.0, 0.0, 1.0, 1.0)
+    if not cluster_centers:
+        raise SubdivisionError("clustered_points needs at least one center")
+    rng = random.Random(seed)
+    min_sep = _min_separation(service_area)
+    points: List[Point] = []
+    attempts = 0
+    while len(points) < n:
+        attempts += 1
+        if attempts > 1000 * n:
+            raise SubdivisionError(f"could not place {n} separated points")
+        if rng.random() < noise_fraction:
+            p = Point(
+                rng.uniform(service_area.min_x, service_area.max_x),
+                rng.uniform(service_area.min_y, service_area.max_y),
+            )
+        else:
+            cx, cy = cluster_centers[rng.randrange(len(cluster_centers))]
+            p = Point(
+                rng.gauss(cx, cluster_spread), rng.gauss(cy, cluster_spread)
+            )
+            if not service_area.contains_point(p):
+                continue
+        if _far_enough(p, points, min_sep):
+            points.append(p)
+    return points
+
+
+def _min_separation(service_area: Rect) -> float:
+    diagonal = (service_area.width ** 2 + service_area.height ** 2) ** 0.5
+    return diagonal * MIN_SEPARATION_FACTOR
+
+
+def _far_enough(p: Point, existing: Sequence[Point], min_sep: float) -> bool:
+    min_sep2 = min_sep * min_sep
+    return all(p.squared_distance_to(q) >= min_sep2 for q in existing)

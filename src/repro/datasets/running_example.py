@@ -1,0 +1,55 @@
+"""The paper's running example: four cities in a square (Figures 1 and 6).
+
+A concrete instantiation of the four data regions P1-P4 used throughout
+the paper to illustrate every index structure.  Vertex names follow the
+figures: the y-dimensional division pl(v2, v3, v4, v6) separates the
+lefthand cities {P1, P2} from the righthand {P3, P4}; pl(v1, v3) divides
+P1 from P2 and pl(v4, v5) divides P3 from P4.
+
+Region ids: 0 = P1 (top-left), 1 = P2 (bottom-left), 2 = P3 (top-right),
+3 = P4 (bottom-right).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+from repro.tessellation.subdivision import DataRegion, Subdivision
+
+#: The figure's named vertices (coordinates chosen to match its layout).
+V1 = Point(0.0, 0.55)
+V2 = Point(0.5, 1.0)
+V3 = Point(0.45, 0.6)
+V4 = Point(0.55, 0.35)
+V5 = Point(1.0, 0.4)
+V6 = Point(0.5, 0.0)
+
+_CORNERS = {
+    "bottom_left": Point(0.0, 0.0),
+    "top_left": Point(0.0, 1.0),
+    "top_right": Point(1.0, 1.0),
+    "bottom_right": Point(1.0, 0.0),
+}
+
+
+def running_example_subdivision() -> Subdivision:
+    """The four-city subdivision of the paper's running example."""
+    p1 = Polygon([V1, _CORNERS["top_left"], V2, V3])
+    p2 = Polygon([_CORNERS["bottom_left"], V1, V3, V4, V6])
+    p3 = Polygon([V3, V2, _CORNERS["top_right"], V5, V4])
+    p4 = Polygon([V6, V4, V5, _CORNERS["bottom_right"]])
+    regions = [
+        DataRegion(0, p1),
+        DataRegion(1, p2),
+        DataRegion(2, p3),
+        DataRegion(3, p4),
+    ]
+    return Subdivision(regions, service_area=Rect(0.0, 0.0, 1.0, 1.0))
+
+
+def named_vertices() -> Dict[str, Point]:
+    """The figure's vertex labels, for tests and the example script."""
+    return {"v1": V1, "v2": V2, "v3": V3, "v4": V4, "v5": V5, "v6": V6}

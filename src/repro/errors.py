@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the broad failure classes below.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric input (degenerate polygon, zero-length segment...)."""
+
+
+class SubdivisionError(ReproError):
+    """A set of data regions violates the subdivision contract of
+    Definition 1 in the paper (regions must tile the service area and be
+    pairwise disjoint)."""
+
+
+class IndexBuildError(ReproError):
+    """An index structure could not be constructed from the subdivision."""
+
+
+class PagingError(ReproError):
+    """An index could not be allocated to fixed-capacity packets."""
+
+
+class QueryError(ReproError):
+    """A point query could not be answered (e.g. the point lies outside the
+    service area)."""
+
+
+class BroadcastError(ReproError):
+    """Invalid broadcast schedule configuration or simulation failure."""

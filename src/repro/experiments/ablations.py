@@ -1,0 +1,169 @@
+"""Ablations of the D-tree design choices (DESIGN.md A1-A4).
+
+The paper motivates these choices qualitatively (§4.2, §4.4); these
+harnesses quantify each one by toggling it off and re-measuring.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Sequence
+
+from repro.broadcast.metrics import evaluate_index
+from repro.broadcast.params import SystemParameters
+from repro.core.dtree import DTree
+from repro.core.paging import PagedDTree
+from repro.datasets.catalog import Dataset, uniform_dataset
+from repro.experiments.config import ExperimentConfig
+
+
+def _query_points(dataset: Dataset, queries: int, seed: int):
+    rng = random.Random(seed)
+    sub = dataset.subdivision
+    return [sub.random_point(rng) for _ in range(queries)]
+
+
+def _measure(
+    paged: PagedDTree, dataset: Dataset, params: SystemParameters, points, seed: int
+):
+    return evaluate_index(
+        paged, dataset.subdivision.region_ids, params, points, seed=seed
+    )
+
+
+def ablation_tie_break(
+    dataset: Optional[Dataset] = None,
+    capacities: Sequence[int] = (64, 256, 1024),
+    queries: int = 500,
+    seed: int = 7,
+) -> Dict[str, Dict[int, float]]:
+    """A1: §4.2 inter-prob tie-break on/off — index tuning time."""
+    dataset = dataset or uniform_dataset(n=200, seed=42)
+    points = _query_points(dataset, queries, seed)
+    with_tb = DTree.build(dataset.subdivision, tie_break_inter_prob=True)
+    without_tb = DTree.build(dataset.subdivision, tie_break_inter_prob=False)
+    out: Dict[str, Dict[int, float]] = {"tie_break_on": {}, "tie_break_off": {}}
+    for cap in capacities:
+        params = SystemParameters.for_index("dtree", cap)
+        out["tie_break_on"][cap] = _measure(
+            PagedDTree(with_tb, params), dataset, params, points, seed
+        ).mean_index_tuning
+        out["tie_break_off"][cap] = _measure(
+            PagedDTree(without_tb, params), dataset, params, points, seed
+        ).mean_index_tuning
+    return out
+
+
+def ablation_early_termination(
+    dataset: Optional[Dataset] = None,
+    capacities: Sequence[int] = (64, 128, 256),
+    queries: int = 500,
+    seed: int = 7,
+) -> Dict[str, Dict[int, float]]:
+    """A2: §4.4 pointers-before-partition RMC/LMC layout on/off.
+
+    Only small capacities produce multi-packet nodes, so the effect shows
+    at 64-256 B.
+    """
+    dataset = dataset or uniform_dataset(n=200, seed=42)
+    points = _query_points(dataset, queries, seed)
+    tree = DTree.build(dataset.subdivision)
+    out: Dict[str, Dict[int, float]] = {"early_term_on": {}, "early_term_off": {}}
+    for cap in capacities:
+        params = SystemParameters.for_index("dtree", cap)
+        out["early_term_on"][cap] = _measure(
+            PagedDTree(tree, params, early_termination=True),
+            dataset, params, points, seed,
+        ).mean_index_tuning
+        out["early_term_off"][cap] = _measure(
+            PagedDTree(tree, params, early_termination=False),
+            dataset, params, points, seed,
+        ).mean_index_tuning
+    return out
+
+
+def ablation_top_down_paging(
+    dataset: Optional[Dataset] = None,
+    capacities: Sequence[int] = (256, 1024, 2048),
+    queries: int = 500,
+    seed: int = 7,
+) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """A3: Algorithm-3 top-down packing vs one-node-per-packet.
+
+    Reports both the index size (packets) and the tuning time: top-down
+    packing compresses the effective tree height at large capacities.
+    """
+    dataset = dataset or uniform_dataset(n=200, seed=42)
+    points = _query_points(dataset, queries, seed)
+    tree = DTree.build(dataset.subdivision)
+    out: Dict[str, Dict[int, Dict[str, float]]] = {
+        "top_down": {},
+        "one_node_per_packet": {},
+    }
+    for cap in capacities:
+        params = SystemParameters.for_index("dtree", cap)
+        for label, top_down in (("top_down", True), ("one_node_per_packet", False)):
+            paged = PagedDTree(
+                tree, params, top_down=top_down, merge_leaves=top_down
+            )
+            metrics = _measure(paged, dataset, params, points, seed)
+            out[label][cap] = {
+                "index_packets": float(metrics.index_packets),
+                "tuning": metrics.mean_index_tuning,
+            }
+    return out
+
+
+def ablation_extended_styles(
+    dataset: Optional[Dataset] = None,
+    capacities: Sequence[int] = (64, 128, 256),
+    queries: int = 500,
+    seed: int = 7,
+) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """A5 (extension): complement-extent partition styles on/off.
+
+    Describing whichever subspace has the smaller pruned extent shrinks
+    top-level partitions, which is where the D-tree pays at small packet
+    capacities.  Reports index size and tuning time for both builds.
+    """
+    dataset = dataset or uniform_dataset(n=200, seed=42)
+    points = _query_points(dataset, queries, seed)
+    base = DTree.build(dataset.subdivision)
+    extended = DTree.build(dataset.subdivision, extended_styles=True)
+    out: Dict[str, Dict[int, Dict[str, float]]] = {
+        "paper_styles": {},
+        "extended_styles": {},
+    }
+    for cap in capacities:
+        params = SystemParameters.for_index("dtree", cap)
+        for label, tree in (("paper_styles", base), ("extended_styles", extended)):
+            metrics = _measure(PagedDTree(tree, params), dataset, params, points, seed)
+            out[label][cap] = {
+                "index_packets": float(metrics.index_packets),
+                "tuning": metrics.mean_index_tuning,
+            }
+    return out
+
+
+def ablation_interleaving(
+    dataset: Optional[Dataset] = None,
+    capacities: Sequence[int] = (256, 1024),
+    queries: int = 500,
+    seed: int = 7,
+) -> Dict[str, Dict[int, float]]:
+    """A4: (1, m) with the optimal m vs m = 1 — normalized latency."""
+    dataset = dataset or uniform_dataset(n=200, seed=42)
+    points = _query_points(dataset, queries, seed)
+    tree = DTree.build(dataset.subdivision)
+    out: Dict[str, Dict[int, float]] = {"optimal_m": {}, "m_1": {}}
+    for cap in capacities:
+        params = SystemParameters.for_index("dtree", cap)
+        paged = PagedDTree(tree, params)
+        region_ids = dataset.subdivision.region_ids
+        out["optimal_m"][cap] = evaluate_index(
+            paged, region_ids, params, points, seed=seed
+        ).normalized_latency
+        out["m_1"][cap] = evaluate_index(
+            paged, region_ids, params, points, seed=seed, m=1
+        ).normalized_latency
+    return out

@@ -1,0 +1,103 @@
+"""ASCII line charts for figure results (terminal-friendly plots).
+
+The original figures are log-x line charts over the packet-capacity sweep;
+this renders the same series as a monospace chart so `python -m repro`
+output can be eyeballed for the crossovers the paper describes without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import ReproError
+
+#: One glyph per index series, stable across charts.
+SERIES_GLYPHS = {"dtree": "D", "trian": "K", "trap": "T", "rstar": "R"}
+_FALLBACK_GLYPHS = "abcdefghijklmnopqrstuvwxyz"
+
+
+def render_chart(
+    title: str,
+    capacities: Sequence[int],
+    rows: Dict[str, Sequence[float]],
+    height: int = 12,
+    log_y: bool = False,
+) -> str:
+    """Render one sub-figure as an ASCII chart.
+
+    Columns are the packet capacities (log-spaced in the paper, equally
+    spaced here); each series paints its glyph at the scaled value, last
+    writer wins on collisions (collisions mean the series genuinely
+    overlap at this resolution).
+    """
+    if not rows:
+        raise ReproError("no series to chart")
+    if height < 3:
+        raise ReproError(f"chart height must be >= 3, got {height}")
+    n_cols = len(capacities)
+    for name, values in rows.items():
+        if len(values) != n_cols:
+            raise ReproError(
+                f"series {name!r} has {len(values)} values for {n_cols} capacities"
+            )
+
+    import math
+
+    def transform(v: float) -> float:
+        if log_y:
+            return math.log10(max(v, 1e-12))
+        return v
+
+    all_values = [transform(v) for values in rows.values() for v in values]
+    lo, hi = min(all_values), max(all_values)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+
+    def row_of(v: float) -> int:
+        frac = (transform(v) - lo) / (hi - lo)
+        return min(height - 1, max(0, round(frac * (height - 1))))
+
+    col_width = 7
+    grid = [[" "] * (n_cols * col_width) for _ in range(height)]
+    glyphs = dict(SERIES_GLYPHS)
+    fallback = iter(_FALLBACK_GLYPHS)
+    for name, values in rows.items():
+        glyph = glyphs.get(name)
+        if glyph is None:
+            glyph = next(fallback)
+            glyphs[name] = glyph
+        for i, v in enumerate(values):
+            r = row_of(v)
+            c = i * col_width + col_width // 2
+            grid[height - 1 - r][c] = glyph
+
+    def axis_label(value: float) -> str:
+        if log_y:
+            value = 10 ** value
+        return f"{value:8.2f}"
+
+    lines = [title]
+    for r, row in enumerate(grid):
+        frac = (height - 1 - r) / (height - 1)
+        label = axis_label(lo + frac * (hi - lo))
+        lines.append(f"{label} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * (n_cols * col_width))
+    ticks = "".join(f"{cap:>{col_width}}" for cap in capacities)
+    lines.append(" " * 10 + ticks + "  (packet bytes)")
+    legend = "  ".join(f"{glyphs[name]}={name}" for name in rows)
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def render_figure_charts(result, height: int = 12, log_y: bool = False) -> str:
+    """All sub-figures of a FigureResult as stacked ASCII charts."""
+    blocks: List[str] = [f"== {result.figure}: {result.metric} =="]
+    for dataset, rows in result.series.items():
+        blocks.append(
+            render_chart(
+                f"[{dataset}]", result.capacities, rows,
+                height=height, log_y=log_y,
+            )
+        )
+    return "\n\n".join(blocks)

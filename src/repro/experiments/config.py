@@ -1,0 +1,75 @@
+"""Experiment configuration: which datasets, capacities and query counts.
+
+Two presets:
+
+* :meth:`ExperimentConfig.paper` — the paper's setting: UNIFORM (N=1000),
+  HOSPITAL (N=185), PARK (N=1102), packet capacities 64 B – 2 KB.
+* :meth:`ExperimentConfig.quick` — scaled-down datasets for CI-sized runs
+  (same shape of results at a fraction of the build time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.datasets.catalog import (
+    Dataset,
+    hospital_dataset,
+    park_dataset,
+    uniform_dataset,
+)
+from repro.broadcast.params import PACKET_CAPACITIES
+
+
+@dataclass
+class ExperimentConfig:
+    """One experiment campaign's parameters."""
+
+    datasets: Dict[str, Dataset]
+    packet_capacities: Tuple[int, ...] = PACKET_CAPACITIES
+    #: Random point queries per cell (the paper used 10^6; the means
+    #: converge far earlier in the paper's units).
+    queries: int = 2000
+    seed: int = 7
+
+    @classmethod
+    def paper(cls, queries: int = 2000, seed: int = 7) -> "ExperimentConfig":
+        """The full-scale setting of §5."""
+        return cls(
+            datasets={
+                "UNIFORM": uniform_dataset(),
+                "HOSPITAL": hospital_dataset(),
+                "PARK": park_dataset(),
+            },
+            queries=queries,
+            seed=seed,
+        )
+
+    @classmethod
+    def quick(cls, queries: int = 400, seed: int = 7) -> "ExperimentConfig":
+        """Scaled-down datasets (~10x smaller) for fast runs."""
+        return cls(
+            datasets={
+                "UNIFORM": uniform_dataset(n=100, seed=42),
+                "HOSPITAL": hospital_dataset(n=40, seed=185),
+                "PARK": park_dataset(n=110, seed=1102),
+            },
+            queries=queries,
+            seed=seed,
+        )
+
+    @classmethod
+    def single(
+        cls,
+        name: str = "UNIFORM",
+        n: int = 100,
+        queries: int = 400,
+        seed: int = 7,
+    ) -> "ExperimentConfig":
+        """One small uniform dataset — unit-test sized."""
+        return cls(
+            datasets={name: uniform_dataset(n=n, seed=42)},
+            queries=queries,
+            seed=seed,
+        )

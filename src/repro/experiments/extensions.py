@@ -1,0 +1,186 @@
+"""Extension experiments E5-E7 (beyond the paper's evaluation).
+
+* **E5 — divisions vs hyperplanes**: the D-tree against the kd-style
+  hyperplane-split tree, quantifying the index inflation that region
+  duplication causes (the design argument of §4.1).
+* **E6 — flat vs skewed broadcast**: the paper's flat broadcast against
+  broadcast disks under Zipf query skew.
+* **E7 — client cache warm-up**: how a small LRU packet cache erodes the
+  index-search tuning time over a query session.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.broadcast.caching import CachingBroadcastClient
+from repro.broadcast.client import BroadcastClient
+from repro.broadcast.disks import (
+    SkewedBroadcastSchedule,
+    region_weights_from_workload,
+)
+from repro.broadcast.metrics import evaluate_index
+from repro.broadcast.params import SystemParameters
+from repro.broadcast.schedule import BroadcastSchedule
+from repro.core.dtree import DTree
+from repro.core.paging import PagedDTree
+from repro.datasets.catalog import Dataset, uniform_dataset
+from repro.pointloc.kdsplit import KDSplitTree, PagedKDSplitTree
+from repro.workload import zipf_region_workload
+
+
+def extension_divisions_vs_hyperplanes(
+    dataset: Optional[Dataset] = None,
+    capacities: Sequence[int] = (64, 256, 1024),
+    queries: int = 500,
+    seed: int = 7,
+) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """E5: D-tree vs kd-split tree (index packets / tuning / latency)."""
+    dataset = dataset or uniform_dataset(n=200, seed=42)
+    sub = dataset.subdivision
+    rng = random.Random(seed)
+    points = [sub.random_point(rng) for _ in range(queries)]
+    dtree = DTree.build(sub)
+    kdtree = KDSplitTree(sub, leaf_capacity=4)
+    out: Dict[str, Dict[int, Dict[str, float]]] = {"dtree": {}, "kdsplit": {}}
+    for cap in capacities:
+        dt_params = SystemParameters.for_index("dtree", cap)
+        kd_params = SystemParameters.for_index("trap", cap)
+        cells = {
+            "dtree": (PagedDTree(dtree, dt_params), dt_params),
+            "kdsplit": (PagedKDSplitTree(kdtree, kd_params), kd_params),
+        }
+        for label, (paged, params) in cells.items():
+            metrics = evaluate_index(
+                paged, sub.region_ids, params, points, seed=seed
+            )
+            out[label][cap] = {
+                "index_packets": float(metrics.index_packets),
+                "tuning": metrics.mean_index_tuning,
+                "latency": metrics.normalized_latency,
+            }
+    return out
+
+
+def extension_flat_vs_skewed_broadcast(
+    dataset: Optional[Dataset] = None,
+    packet_capacity: int = 512,
+    theta: float = 1.2,
+    queries: int = 600,
+    seed: int = 7,
+) -> Dict[str, float]:
+    """E6: mean access latency (packets) of flat vs broadcast-disks airing
+    for a Zipf-skewed workload over the same D-tree index."""
+    dataset = dataset or uniform_dataset(n=200, seed=42)
+    sub = dataset.subdivision
+    params = SystemParameters.for_index("dtree", packet_capacity)
+    paged = PagedDTree(DTree.build(sub), params)
+    workload = zipf_region_workload(sub, queries, theta=theta, seed=seed)
+
+    flat = evaluate_index(
+        paged, sub.region_ids, params, workload.points, seed=seed
+    )
+    weights = region_weights_from_workload(sub, workload.points)
+    skewed_schedule = SkewedBroadcastSchedule(
+        len(paged.packets), weights, params, max_frequency=6
+    )
+    skewed = evaluate_index(
+        paged,
+        sub.region_ids,
+        params,
+        workload.points,
+        seed=seed,
+        schedule=skewed_schedule,
+    )
+    return {
+        "flat_latency": flat.mean_access_latency,
+        "skewed_latency": skewed.mean_access_latency,
+        "replication_factor": skewed_schedule.replication_factor,
+        "speedup": flat.mean_access_latency / skewed.mean_access_latency,
+    }
+
+
+def extension_imbalanced_dtree(
+    dataset: Optional[Dataset] = None,
+    packet_capacity: int = 128,
+    theta: float = 1.4,
+    queries: int = 600,
+    seed: int = 7,
+) -> Dict[str, float]:
+    """E8: balanced vs access-weighted D-tree under Zipf query skew.
+
+    The imbalanced build (cf. paper ref [6]) halves probability mass
+    instead of region count at each split, shortening hot regions' paths.
+    Reports mean index tuning time for both trees on the same workload.
+    """
+    import collections
+
+    from repro.core.imbalanced import build_imbalanced_dtree, expected_depth
+
+    dataset = dataset or uniform_dataset(n=200, seed=42)
+    sub = dataset.subdivision
+    workload = zipf_region_workload(sub, queries, theta=theta, seed=seed)
+    counts = collections.Counter(sub.locate(p) for p in workload.points)
+    weights = {rid: float(counts.get(rid, 0)) + 0.25 for rid in sub.region_ids}
+
+    params = SystemParameters.for_index("dtree", packet_capacity)
+    balanced_tree = DTree.build(sub)
+    adapted_tree = build_imbalanced_dtree(sub, weights)
+    balanced = evaluate_index(
+        PagedDTree(balanced_tree, params), sub.region_ids, params,
+        workload.points, seed=seed,
+    )
+    adapted = evaluate_index(
+        PagedDTree(adapted_tree, params), sub.region_ids, params,
+        workload.points, seed=seed,
+    )
+    return {
+        "balanced_tuning": balanced.mean_index_tuning,
+        "imbalanced_tuning": adapted.mean_index_tuning,
+        "balanced_expected_depth": expected_depth(balanced_tree, weights),
+        "imbalanced_expected_depth": expected_depth(adapted_tree, weights),
+    }
+
+
+def extension_cache_warmup(
+    dataset: Optional[Dataset] = None,
+    packet_capacity: int = 256,
+    cache_packets: int = 16,
+    session_length: int = 200,
+    seed: int = 7,
+) -> Dict[str, List[float]]:
+    """E7: per-query index tuning over a session, cold vs cached client.
+
+    Returns the running mean tuning time in 20-query windows.
+    """
+    dataset = dataset or uniform_dataset(n=200, seed=42)
+    sub = dataset.subdivision
+    params = SystemParameters.for_index("dtree", packet_capacity)
+    paged = PagedDTree(DTree.build(sub), params)
+    schedule = BroadcastSchedule(
+        index_packet_count=len(paged.packets),
+        region_ids=sub.region_ids,
+        params=params,
+    )
+    rng = random.Random(seed)
+    points = [sub.random_point(rng) for _ in range(session_length)]
+    times = [rng.uniform(0, schedule.cycle_length) for _ in points]
+
+    cold = BroadcastClient(paged, schedule)
+    cached = CachingBroadcastClient(paged, schedule, cache_packets=cache_packets)
+
+    cold_series = [
+        cold.query(p, t).index_tuning_time for p, t in zip(points, times)
+    ]
+    cached_series = [
+        r.index_tuning_time for r in cached.run_session(points, times)
+    ]
+
+    def windows(series: List[int], width: int = 20) -> List[float]:
+        return [
+            sum(series[i : i + width]) / len(series[i : i + width])
+            for i in range(0, len(series), width)
+        ]
+
+    return {"cold": windows(cold_series), "cached": windows(cached_series)}

@@ -1,0 +1,135 @@
+"""Reproductions of the paper's Figures 10-13.
+
+Every function returns a :class:`FigureResult`: for each dataset (one
+sub-figure each in the paper) a table with one row per index structure and
+one column per packet capacity, holding the metric the figure plots.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.broadcast.metrics import MetricsSummary
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import INDEX_KINDS, ExperimentMatrix
+
+
+class FigureResult:
+    """The series of one figure: dataset -> index kind -> capacity -> value."""
+
+    def __init__(
+        self,
+        figure: str,
+        metric: str,
+        capacities: Sequence[int],
+        series: Dict[str, Dict[str, List[float]]],
+    ) -> None:
+        self.figure = figure
+        self.metric = metric
+        self.capacities = list(capacities)
+        self.series = series
+
+    def value(self, dataset: str, index_kind: str, capacity: int) -> float:
+        idx = self.capacities.index(capacity)
+        return self.series[dataset][index_kind][idx]
+
+    def to_csv(self) -> str:
+        """Long-format CSV: figure, metric, dataset, index, capacity, value."""
+        lines = ["figure,metric,dataset,index,packet_capacity,value"]
+        for dataset, rows in self.series.items():
+            for index_kind, values in rows.items():
+                for capacity, value in zip(self.capacities, values):
+                    lines.append(
+                        f"{self.figure},{self.metric},{dataset},"
+                        f"{index_kind},{capacity},{value:.6g}"
+                    )
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:
+        return f"FigureResult({self.figure}, metric={self.metric})"
+
+
+def _sweep_figure(
+    figure: str,
+    metric_name: str,
+    extract: Callable[[MetricsSummary], float],
+    config: Optional[ExperimentConfig] = None,
+    matrix: Optional[ExperimentMatrix] = None,
+    datasets: Optional[Sequence[str]] = None,
+    index_kinds: Sequence[str] = INDEX_KINDS,
+) -> FigureResult:
+    if matrix is None:
+        matrix = ExperimentMatrix(config or ExperimentConfig.paper())
+    config = matrix.config
+    names = list(datasets) if datasets is not None else list(config.datasets)
+    series: Dict[str, Dict[str, List[float]]] = {}
+    for name in names:
+        series[name] = {}
+        for kind in index_kinds:
+            series[name][kind] = [
+                extract(cell.metrics) for cell in matrix.sweep(name, kind)
+            ]
+    return FigureResult(figure, metric_name, config.packet_capacities, series)
+
+
+def figure10(
+    config: Optional[ExperimentConfig] = None,
+    matrix: Optional[ExperimentMatrix] = None,
+) -> FigureResult:
+    """Figure 10: expected access latency, normalized to the optimal
+    (no-index) latency, vs packet capacity, per dataset."""
+    return _sweep_figure(
+        "Figure 10",
+        "normalized access latency",
+        lambda m: m.normalized_latency,
+        config=config,
+        matrix=matrix,
+    )
+
+
+def figure11(
+    config: Optional[ExperimentConfig] = None,
+    matrix: Optional[ExperimentMatrix] = None,
+    dataset: str = "PARK",
+) -> FigureResult:
+    """Figure 11: index size normalized to the data broadcast size, for
+    the PARK dataset."""
+    mat = matrix or ExperimentMatrix(config or ExperimentConfig.paper())
+    name = dataset if dataset in mat.config.datasets else next(iter(mat.config.datasets))
+    return _sweep_figure(
+        "Figure 11",
+        "normalized index size",
+        lambda m: m.normalized_index_size,
+        matrix=mat,
+        datasets=[name],
+    )
+
+
+def figure12(
+    config: Optional[ExperimentConfig] = None,
+    matrix: Optional[ExperimentMatrix] = None,
+) -> FigureResult:
+    """Figure 12: tuning time of the index-search step (packet accesses)
+    vs packet capacity, per dataset."""
+    return _sweep_figure(
+        "Figure 12",
+        "index tuning time (packets)",
+        lambda m: m.mean_index_tuning,
+        config=config,
+        matrix=matrix,
+    )
+
+
+def figure13(
+    config: Optional[ExperimentConfig] = None,
+    matrix: Optional[ExperimentMatrix] = None,
+) -> FigureResult:
+    """Figure 13: indexing efficiency (tuning time saved per packet of
+    latency overhead) vs packet capacity, per dataset."""
+    return _sweep_figure(
+        "Figure 13",
+        "indexing efficiency",
+        lambda m: m.efficiency,
+        config=config,
+        matrix=matrix,
+    )

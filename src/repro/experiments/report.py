@@ -1,0 +1,32 @@
+"""Plain-text rendering of figure results and ablations."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.figures import FigureResult
+
+
+def render_series(
+    title: str,
+    capacities: Sequence[int],
+    rows: Dict[str, Sequence[float]],
+    value_format: str = "{:>9.3f}",
+) -> str:
+    """One table: rows = index kinds, columns = packet capacities."""
+    header = f"{'index':<8}" + "".join(f"{cap:>10}B" for cap in capacities)
+    lines = [title, "-" * len(header), header]
+    for name, values in rows.items():
+        cells = "".join(" " + value_format.format(v) for v in values)
+        lines.append(f"{name:<8}" + cells)
+    return "\n".join(lines)
+
+
+def render_matrix(result: FigureResult) -> str:
+    """Every dataset sub-figure of one figure, stacked."""
+    blocks: List[str] = [f"== {result.figure}: {result.metric} =="]
+    for dataset, rows in result.series.items():
+        blocks.append(
+            render_series(f"[{dataset}]", result.capacities, rows)
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,148 @@
+"""Building, paging and measuring one (dataset, index, capacity) cell."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.broadcast.metrics import MetricsSummary, evaluate_index
+from repro.broadcast.packets import PagedIndex
+from repro.broadcast.params import SystemParameters
+from repro.core.dtree import DTree
+from repro.core.paging import PagedDTree
+from repro.datasets.catalog import Dataset
+from repro.pointloc.kirkpatrick import PagedTrianTree, TrianTree
+from repro.pointloc.trapezoidal import PagedTrapTree, TrapTree
+from repro.rstar.paged import PagedRStarTree, rstar_fanout
+from repro.rstar.tree import RStarTree
+from repro.tessellation.subdivision import Subdivision
+from repro.experiments.config import ExperimentConfig
+
+#: Canonical index order used by every figure.
+INDEX_KINDS = ("dtree", "trian", "trap", "rstar")
+
+
+def build_index(kind: str, subdivision: Subdivision, seed: int = 0):
+    """Build the logical (un-paged) index structure of the given kind.
+
+    The R*-tree's structure depends on its fan-out and therefore on the
+    packet capacity, so for ``"rstar"`` this returns the subdivision
+    itself and the real build happens in :func:`page_index`.
+    """
+    kind = kind.lower()
+    if kind == "dtree":
+        return DTree.build(subdivision)
+    if kind == "trian":
+        return TrianTree(subdivision)
+    if kind == "trap":
+        return TrapTree(subdivision, seed=seed)
+    if kind == "rstar":
+        return subdivision
+    raise ReproError(f"unknown index kind {kind!r}")
+
+
+def page_index(kind: str, index, params: SystemParameters) -> PagedIndex:
+    """Page a logical index for the given packet capacity."""
+    kind = kind.lower()
+    if kind == "dtree":
+        return PagedDTree(index, params)
+    if kind == "trian":
+        return PagedTrianTree(index, params)
+    if kind == "trap":
+        return PagedTrapTree(index, params)
+    if kind == "rstar":
+        tree = RStarTree.build(index, rstar_fanout(params))
+        return PagedRStarTree(tree, params)
+    raise ReproError(f"unknown index kind {kind!r}")
+
+
+class CellResult:
+    """Metrics of one (dataset, index kind, packet capacity) cell."""
+
+    __slots__ = ("dataset", "index_kind", "packet_capacity", "metrics")
+
+    def __init__(
+        self,
+        dataset: str,
+        index_kind: str,
+        packet_capacity: int,
+        metrics: MetricsSummary,
+    ) -> None:
+        self.dataset = dataset
+        self.index_kind = index_kind
+        self.packet_capacity = packet_capacity
+        self.metrics = metrics
+
+    def __repr__(self) -> str:
+        return (
+            f"CellResult({self.dataset}, {self.index_kind}, "
+            f"{self.packet_capacity}B, {self.metrics!r})"
+        )
+
+
+def run_cell(
+    dataset: Dataset,
+    index_kind: str,
+    packet_capacity: int,
+    queries: int,
+    seed: int,
+    logical_index=None,
+) -> CellResult:
+    """Build (or reuse), page, schedule and measure one cell."""
+    subdivision = dataset.subdivision
+    params = SystemParameters.for_index(index_kind, packet_capacity)
+    if logical_index is None:
+        logical_index = build_index(index_kind, subdivision, seed=seed)
+    paged = page_index(index_kind, logical_index, params)
+    import random
+
+    rng = random.Random(seed)
+    points = [subdivision.random_point(rng) for _ in range(queries)]
+    metrics = evaluate_index(
+        paged,
+        subdivision.region_ids,
+        params,
+        points,
+        seed=seed,
+    )
+    return CellResult(dataset.name, index_kind, packet_capacity, metrics)
+
+
+class ExperimentMatrix:
+    """All cells of one campaign, with logical indexes built once per
+    (dataset, kind) and reused across the capacity sweep."""
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self.config = config
+        self._logical: Dict[Tuple[str, str], object] = {}
+        self._cells: Dict[Tuple[str, str, int], CellResult] = {}
+
+    def cell(
+        self, dataset_name: str, index_kind: str, packet_capacity: int
+    ) -> CellResult:
+        key = (dataset_name, index_kind, packet_capacity)
+        if key not in self._cells:
+            dataset = self.config.datasets[dataset_name]
+            lkey = (dataset_name, index_kind)
+            if lkey not in self._logical:
+                self._logical[lkey] = build_index(
+                    index_kind, dataset.subdivision, seed=self.config.seed
+                )
+            self._cells[key] = run_cell(
+                dataset,
+                index_kind,
+                packet_capacity,
+                queries=self.config.queries,
+                seed=self.config.seed,
+                logical_index=self._logical[lkey],
+            )
+        return self._cells[key]
+
+    def sweep(
+        self, dataset_name: str, index_kind: str
+    ) -> List[CellResult]:
+        """The full capacity sweep of one (dataset, index) pair."""
+        return [
+            self.cell(dataset_name, index_kind, cap)
+            for cap in self.config.packet_capacities
+        ]

@@ -1,0 +1,84 @@
+"""Immutable 2-D point."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Tuple
+
+
+class Point:
+    """A point in the plane.
+
+    Points are immutable, hashable and ordered lexicographically
+    (x first, then y), which is the order used by sweep-style algorithms
+    such as the trapezoidal-map construction.
+    """
+
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: float, y: float) -> None:
+        object.__setattr__(self, "x", float(x))
+        object.__setattr__(self, "y", float(y))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Point is immutable")
+
+    # -- basic protocol ----------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"Point({self.x:g}, {self.y:g})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Point):
+            return NotImplemented
+        return self.x == other.x and self.y == other.y
+
+    def __hash__(self) -> int:
+        return hash((self.x, self.y))
+
+    def __lt__(self, other: "Point") -> bool:
+        return (self.x, self.y) < (other.x, other.y)
+
+    def __le__(self, other: "Point") -> bool:
+        return (self.x, self.y) <= (other.x, other.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    # -- vector arithmetic -------------------------------------------------
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    # -- geometry ----------------------------------------------------------
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to *other*."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Squared Euclidean distance (avoids the sqrt for comparisons)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def cross(self, other: "Point") -> float:
+        """2-D cross product (z-component of the 3-D cross product)."""
+        return self.x * other.y - self.y * other.x
+
+    def dot(self, other: "Point") -> float:
+        """Dot product."""
+        return self.x * other.x + self.y * other.y
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)

@@ -1,0 +1,219 @@
+"""Simple polygons — the shape of a data region (paper Definition 1)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.predicates import EPS, on_segment
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+
+
+class Polygon:
+    """A simple (non-self-intersecting) polygon with CCW vertex order.
+
+    The constructor normalises the ring: it drops a duplicated closing
+    vertex, removes consecutive duplicates, and reverses clockwise input so
+    that every stored polygon is counter-clockwise.  CCW order is what lets
+    the trapezoidal map decide which region lies *above* an edge and the
+    D-tree orient its extents consistently.
+    """
+
+    __slots__ = ("vertices", "_bbox")
+
+    def __init__(self, vertices: Sequence[Point]) -> None:
+        ring = [Point(p.x, p.y) if not isinstance(p, Point) else p for p in vertices]
+        if len(ring) >= 2 and ring[0] == ring[-1]:
+            ring = ring[:-1]
+        cleaned: List[Point] = []
+        for p in ring:
+            if not cleaned or cleaned[-1] != p:
+                cleaned.append(p)
+        if len(cleaned) >= 2 and cleaned[0] == cleaned[-1]:
+            cleaned.pop()
+        if len(cleaned) < 3:
+            raise GeometryError(f"polygon needs >= 3 distinct vertices, got {cleaned}")
+        if _signed_area(cleaned) < 0:
+            cleaned.reverse()
+        if abs(_signed_area(cleaned)) <= EPS:
+            raise GeometryError("polygon has (numerically) zero area")
+        self.vertices: Tuple[Point, ...] = tuple(cleaned)
+        self._bbox = Rect.from_points(self.vertices)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"({v.x:g},{v.y:g})" for v in self.vertices)
+        return f"Polygon[{inner}]"
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polygon):
+            return NotImplemented
+        if len(self.vertices) != len(other.vertices):
+            return False
+        # Same ring up to rotation (both are CCW already).
+        doubled = other.vertices + other.vertices
+        n = len(self.vertices)
+        return any(
+            doubled[i : i + n] == self.vertices for i in range(len(other.vertices))
+        )
+
+    def __hash__(self) -> int:
+        # Rotation-independent: start at the lexicographically smallest vertex.
+        start = min(range(len(self.vertices)), key=lambda i: self.vertices[i])
+        rotated = self.vertices[start:] + self.vertices[:start]
+        return hash(rotated)
+
+    # -- measures -------------------------------------------------------------
+
+    @property
+    def area(self) -> float:
+        """Unsigned area."""
+        return abs(_signed_area(self.vertices))
+
+    @property
+    def bbox(self) -> Rect:
+        """Minimum bounding rectangle."""
+        return self._bbox
+
+    @property
+    def centroid(self) -> Point:
+        """Area centroid."""
+        a2 = 0.0
+        cx = 0.0
+        cy = 0.0
+        verts = self.vertices
+        n = len(verts)
+        for i in range(n):
+            p = verts[i]
+            q = verts[(i + 1) % n]
+            cross = p.cross(q)
+            a2 += cross
+            cx += (p.x + q.x) * cross
+            cy += (p.y + q.y) * cross
+        if abs(a2) <= EPS:
+            raise GeometryError("centroid of a degenerate polygon")
+        return Point(cx / (3.0 * a2), cy / (3.0 * a2))
+
+    # -- structure ------------------------------------------------------------
+
+    def edges(self) -> List[Segment]:
+        """Boundary segments in CCW order."""
+        verts = self.vertices
+        n = len(verts)
+        return [Segment(verts[i], verts[(i + 1) % n]) for i in range(n)]
+
+    def directed_edges(self) -> List[Tuple[Point, Point]]:
+        """Boundary edges as ordered endpoint pairs in CCW order."""
+        verts = self.vertices
+        n = len(verts)
+        return [(verts[i], verts[(i + 1) % n]) for i in range(n)]
+
+    # -- point location ---------------------------------------------------------
+
+    def contains_point(self, p: Point, include_boundary: bool = True) -> bool:
+        """Ray-crossing containment test with explicit boundary handling."""
+        if not self._bbox.contains_point(p):
+            return False
+        verts = self.vertices
+        n = len(verts)
+        inside = False
+        for i in range(n):
+            a = verts[i]
+            b = verts[(i + 1) % n]
+            if on_segment(p, a, b):
+                return include_boundary
+            if (a.y > p.y) != (b.y > p.y):
+                x_at = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x)
+                if x_at > p.x:
+                    inside = not inside
+        return inside
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        """True if the closed polygon and closed rectangle share a point.
+
+        Covers all configurations of simple polygons: polygon inside the
+        rectangle (a vertex lies inside), rectangle inside the polygon (a
+        corner lies inside), and crossing boundaries (an edge pair
+        intersects).
+        """
+        if not self._bbox.intersects(rect):
+            return False
+        if any(rect.contains_point(v) for v in self.vertices):
+            return True
+        corners = [
+            Point(rect.min_x, rect.min_y),
+            Point(rect.max_x, rect.min_y),
+            Point(rect.max_x, rect.max_y),
+            Point(rect.min_x, rect.max_y),
+        ]
+        if any(self.contains_point(c) for c in corners):
+            return True
+        rect_edges = [
+            (corners[i], corners[(i + 1) % 4]) for i in range(4)
+        ]
+        from repro.geometry.predicates import segments_intersect
+
+        for a, b in self.directed_edges():
+            for c, d in rect_edges:
+                if segments_intersect(a, b, c, d):
+                    return True
+        return False
+
+    def boundary_distance(self, p: Point) -> float:
+        """Distance from *p* to the polygon boundary (0 on the boundary).
+
+        Useful for tolerance checks: a quantised index (e.g. the 16-bit
+        serialized D-tree) may route points within the quantisation step of
+        a boundary to the neighbouring region.
+        """
+        return min(edge.distance_to_point(p) for edge in self.edges())
+
+    def is_convex(self) -> bool:
+        """True if every interior angle is at most pi."""
+        verts = self.vertices
+        n = len(verts)
+        for i in range(n):
+            a = verts[i]
+            b = verts[(i + 1) % n]
+            c = verts[(i + 2) % n]
+            cross = (b - a).cross(c - b)
+            if cross < -EPS:
+                return False
+        return True
+
+    # -- paper-specific accessors -----------------------------------------------
+
+    @property
+    def leftmost_x(self) -> float:
+        """Leftmost x-coordinate — one of the four sort keys of §4.2."""
+        return self._bbox.min_x
+
+    @property
+    def rightmost_x(self) -> float:
+        """Rightmost x-coordinate — one of the four sort keys of §4.2."""
+        return self._bbox.max_x
+
+    @property
+    def lowest_y(self) -> float:
+        """Lowest y-coordinate — one of the four sort keys of §4.2."""
+        return self._bbox.min_y
+
+    @property
+    def uppermost_y(self) -> float:
+        """Uppermost y-coordinate — one of the four sort keys of §4.2."""
+        return self._bbox.max_y
+
+
+def _signed_area(vertices: Sequence[Point]) -> float:
+    """Shoelace signed area (positive for CCW rings)."""
+    total = 0.0
+    n = len(vertices)
+    for i in range(n):
+        p = vertices[i]
+        q = vertices[(i + 1) % n]
+        total += p.cross(q)
+    return total / 2.0

@@ -1,0 +1,148 @@
+"""Polylines and the segment-chaining used to assemble D-tree partitions.
+
+A D-tree partition (the division between two complementary subspaces) is
+"one or more polylines" in the paper.  Algorithm 1 produces a *set of
+segments*; :func:`chain_segments` stitches them into maximal polylines so the
+partition is stored compactly (shared interior vertices are stored once),
+which is exactly what the paper's coordinate-count size measure assumes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.predicates import quantize_point
+from repro.geometry.segment import Segment
+
+
+class Polyline:
+    """An open or closed chain of vertices."""
+
+    __slots__ = ("vertices",)
+
+    def __init__(self, vertices: Sequence[Point]) -> None:
+        if len(vertices) < 2:
+            raise GeometryError("a polyline needs at least two vertices")
+        self.vertices: Tuple[Point, ...] = tuple(vertices)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"({v.x:g},{v.y:g})" for v in self.vertices)
+        return f"Polyline[{inner}]"
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polyline):
+            return NotImplemented
+        return self.vertices == other.vertices or self.vertices == other.vertices[::-1]
+
+    def __hash__(self) -> int:
+        forward = tuple(quantize_point(v) for v in self.vertices)
+        return hash(min(forward, forward[::-1]))
+
+    @property
+    def coordinate_count(self) -> int:
+        """Number of coordinate pairs stored — the paper's partition-size
+        unit (Algorithm 1 returns "the partition size in terms of the
+        number of coordinates")."""
+        return len(self.vertices)
+
+    @property
+    def is_closed(self) -> bool:
+        """True when the first and last vertex coincide."""
+        return self.vertices[0] == self.vertices[-1]
+
+    def segments(self) -> List[Segment]:
+        """Constituent segments in chain order."""
+        return [
+            Segment(self.vertices[i], self.vertices[i + 1])
+            for i in range(len(self.vertices) - 1)
+        ]
+
+    def segment_endpoints(self) -> List[Tuple[Point, Point]]:
+        """Constituent segments as endpoint pairs (cheaper than Segment)."""
+        return [
+            (self.vertices[i], self.vertices[i + 1])
+            for i in range(len(self.vertices) - 1)
+        ]
+
+    @property
+    def min_x(self) -> float:
+        return min(v.x for v in self.vertices)
+
+    @property
+    def max_x(self) -> float:
+        return max(v.x for v in self.vertices)
+
+    @property
+    def min_y(self) -> float:
+        return min(v.y for v in self.vertices)
+
+    @property
+    def max_y(self) -> float:
+        return max(v.y for v in self.vertices)
+
+
+def chain_segments(segments: Iterable[Segment]) -> List[Polyline]:
+    """Stitch an unordered set of segments into maximal polylines.
+
+    Endpoints are matched after coordinate quantisation.  Vertices of degree
+    other than two end a chain, so the result is a set of maximal open or
+    closed polylines covering every input segment exactly once.
+    """
+    seg_list = list(segments)
+    if not seg_list:
+        return []
+
+    adjacency: Dict[Tuple[float, float], List[int]] = defaultdict(list)
+    for idx, seg in enumerate(seg_list):
+        adjacency[quantize_point(seg.a)].append(idx)
+        adjacency[quantize_point(seg.b)].append(idx)
+
+    used = [False] * len(seg_list)
+    polylines: List[Polyline] = []
+
+    def walk(start_idx: int, start_point: Point) -> List[Point]:
+        """Follow degree-2 joints from one endpoint of a seed segment."""
+        chain = [start_point]
+        idx = start_idx
+        current = start_point
+        while True:
+            used[idx] = True
+            seg = seg_list[idx]
+            nxt = seg.b if quantize_point(seg.a) == quantize_point(current) else seg.a
+            chain.append(nxt)
+            key = quantize_point(nxt)
+            candidates = [j for j in adjacency[key] if not used[j]]
+            # Only continue through clean degree-2 joints; branch points
+            # terminate the polyline.
+            if len(adjacency[key]) != 2 or len(candidates) != 1:
+                break
+            idx = candidates[0]
+            current = nxt
+        return chain
+
+    for seed in range(len(seg_list)):
+        if used[seed]:
+            continue
+        seg = seg_list[seed]
+        # Grow forward from a, then extend backwards from a if possible.
+        forward = walk(seed, seg.a)
+        back_key = quantize_point(forward[0])
+        candidates = [j for j in adjacency[back_key] if not used[j]]
+        if len(adjacency[back_key]) == 2 and len(candidates) == 1:
+            backward = walk(candidates[0], forward[0])
+            # backward starts at forward[0]; prepend it reversed.
+            forward = backward[::-1][:-1] + forward
+        polylines.append(Polyline(forward))
+
+    return polylines
+
+
+def total_coordinate_count(polylines: Sequence[Polyline]) -> int:
+    """Partition size of a set of polylines, in coordinates (paper unit)."""
+    return sum(pl.coordinate_count for pl in polylines)

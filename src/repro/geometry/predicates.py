@@ -1,0 +1,134 @@
+"""Geometric predicates shared by every index structure.
+
+These are tolerance-based float predicates.  The library does not need exact
+arithmetic: the constructions it indexes (Voronoi diagrams, grids) produce
+shared edges with bit-identical endpoint coordinates, and query correctness
+is established statistically against a brute-force oracle with continuous
+random query points, for which degenerate configurations have measure zero.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.geometry.point import Point
+
+#: Absolute tolerance used by the predicates in this module.
+EPS = 1e-9
+
+#: Number of decimals used to canonicalise coordinates when matching shared
+#: edges between adjacent data regions.  Coordinates live in the unit square
+#: and cell features are >= 1e-3 for the datasets in this library, so 1e-7
+#: is far below feature scale while absorbing last-ulp float noise.
+QUANTIZE_DECIMALS = 7
+
+
+def quantize(value: float, decimals: int = QUANTIZE_DECIMALS) -> float:
+    """Round *value* so that coordinates produced by the same construction
+    compare equal when used as dictionary keys."""
+    return round(value, decimals)
+
+
+def quantize_point(p: Point, decimals: int = QUANTIZE_DECIMALS) -> Tuple[float, float]:
+    """Canonical hashable form of a point for edge matching."""
+    return (quantize(p.x, decimals), quantize(p.y, decimals))
+
+
+def orientation(a: Point, b: Point, c: Point) -> int:
+    """Sign of the signed area of triangle ``abc``.
+
+    Returns ``+1`` for a counter-clockwise turn, ``-1`` for clockwise and
+    ``0`` for (numerically) collinear points.
+    """
+    cross = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+    if cross > EPS:
+        return 1
+    if cross < -EPS:
+        return -1
+    return 0
+
+
+def on_segment(p: Point, a: Point, b: Point) -> bool:
+    """True if *p* lies on the closed segment ``ab`` (within tolerance)."""
+    if orientation(a, b, p) != 0:
+        return False
+    return (
+        min(a.x, b.x) - EPS <= p.x <= max(a.x, b.x) + EPS
+        and min(a.y, b.y) - EPS <= p.y <= max(a.y, b.y) + EPS
+    )
+
+
+def segments_intersect(a: Point, b: Point, c: Point, d: Point) -> bool:
+    """True if closed segments ``ab`` and ``cd`` share at least one point."""
+    o1 = orientation(a, b, c)
+    o2 = orientation(a, b, d)
+    o3 = orientation(c, d, a)
+    o4 = orientation(c, d, b)
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and on_segment(c, a, b):
+        return True
+    if o2 == 0 and on_segment(d, a, b):
+        return True
+    if o3 == 0 and on_segment(a, c, d):
+        return True
+    if o4 == 0 and on_segment(b, c, d):
+        return True
+    return False
+
+
+def segment_intersection_point(
+    a: Point, b: Point, c: Point, d: Point
+) -> Optional[Point]:
+    """Intersection point of non-parallel segments ``ab`` and ``cd``.
+
+    Returns ``None`` when the segments are parallel or do not meet within
+    their closed extents.  For overlapping collinear segments the result is
+    ``None`` as well (callers in this library never need that case).
+    """
+    r = b - a
+    s = d - c
+    denom = r.cross(s)
+    if abs(denom) <= EPS:
+        return None
+    qp = c - a
+    t = qp.cross(s) / denom
+    u = qp.cross(r) / denom
+    if -EPS <= t <= 1 + EPS and -EPS <= u <= 1 + EPS:
+        return Point(a.x + t * r.x, a.y + t * r.y)
+    return None
+
+
+def ray_crossings(
+    p: Point, segments: Sequence[Tuple[Point, Point]], direction: str = "right"
+) -> int:
+    """Count crossings of an axis-parallel ray from *p* with *segments*.
+
+    ``direction`` is one of ``"right"`` (ray ``y = p.y, x >= p.x``) or
+    ``"down"`` (ray ``x = p.x, y <= p.y``).  The standard half-open rule is
+    applied so a ray passing exactly through a shared vertex is counted
+    once, not twice: a segment is crossed iff its endpoints straddle the ray
+    line with exactly one endpoint strictly on the positive side.
+
+    This is the primitive behind both generic point-in-polygon testing and
+    the D-tree's ray-parity side test (paper Algorithm 2, lines 15-26).
+    """
+    count = 0
+    if direction == "right":
+        for a, b in segments:
+            if (a.y > p.y) != (b.y > p.y):
+                # x-coordinate where the segment meets the horizontal line
+                t = (p.y - a.y) / (b.y - a.y)
+                x_at = a.x + t * (b.x - a.x)
+                if x_at > p.x:
+                    count += 1
+    elif direction == "down":
+        for a, b in segments:
+            if (a.x > p.x) != (b.x > p.x):
+                t = (p.x - a.x) / (b.x - a.x)
+                y_at = a.y + t * (b.y - a.y)
+                if y_at < p.y:
+                    count += 1
+    else:
+        raise ValueError(f"unknown ray direction: {direction!r}")
+    return count

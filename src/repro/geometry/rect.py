@@ -1,0 +1,152 @@
+"""Axis-aligned rectangles (minimum bounding rectangles)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+
+
+class Rect:
+    """Closed axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``.
+
+    This is the MBR primitive of the R*-tree: it supports the area, margin,
+    enlargement and overlap measures that drive R* insertion and splitting.
+    """
+
+    __slots__ = ("min_x", "min_y", "max_x", "max_y")
+
+    def __init__(self, min_x: float, min_y: float, max_x: float, max_y: float) -> None:
+        if min_x > max_x or min_y > max_y:
+            raise GeometryError(
+                f"inverted rectangle: ({min_x},{min_y})-({max_x},{max_y})"
+            )
+        self.min_x = float(min_x)
+        self.min_y = float(min_y)
+        self.max_x = float(max_x)
+        self.max_y = float(max_y)
+
+    def __repr__(self) -> str:
+        return f"Rect({self.min_x:g}, {self.min_y:g}, {self.max_x:g}, {self.max_y:g})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rect):
+            return NotImplemented
+        return (
+            self.min_x == other.min_x
+            and self.min_y == other.min_y
+            and self.max_x == other.max_x
+            and self.max_y == other.max_y
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.min_x, self.min_y, self.max_x, self.max_y))
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "Rect":
+        """Smallest rectangle containing all *points*."""
+        pts = list(points)
+        if not pts:
+            raise GeometryError("cannot bound an empty point set")
+        return cls(
+            min(p.x for p in pts),
+            min(p.y for p in pts),
+            max(p.x for p in pts),
+            max(p.y for p in pts),
+        )
+
+    @classmethod
+    def union_of(cls, rects: Iterable["Rect"]) -> "Rect":
+        """Smallest rectangle containing all *rects*."""
+        rect_list = list(rects)
+        if not rect_list:
+            raise GeometryError("cannot bound an empty rectangle set")
+        return cls(
+            min(r.min_x for r in rect_list),
+            min(r.min_y for r in rect_list),
+            max(r.max_x for r in rect_list),
+            max(r.max_y for r in rect_list),
+        )
+
+    # -- measures ------------------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def margin(self) -> float:
+        """Half-perimeter; the R* split heuristic minimises the margin sum."""
+        return self.width + self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    # -- relations -----------------------------------------------------------
+
+    def contains_point(self, p: Point) -> bool:
+        """True if *p* lies in the closed rectangle."""
+        return self.min_x <= p.x <= self.max_x and self.min_y <= p.y <= self.max_y
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True if *other* lies entirely inside this rectangle."""
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and self.max_x >= other.max_x
+            and self.max_y >= other.max_y
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True if the closed rectangles share at least one point."""
+        return not (
+            self.max_x < other.min_x
+            or other.max_x < self.min_x
+            or self.max_y < other.min_y
+            or other.max_y < self.min_y
+        )
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """Overlap rectangle, or None when disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            max(self.min_x, other.min_x),
+            max(self.min_y, other.min_y),
+            min(self.max_x, other.max_x),
+            min(self.max_y, other.max_y),
+        )
+
+    def overlap_area(self, other: "Rect") -> float:
+        """Area of the overlap with *other* (0 when disjoint)."""
+        inter = self.intersection(other)
+        return inter.area if inter is not None else 0.0
+
+    def union(self, other: "Rect") -> "Rect":
+        """Smallest rectangle containing both."""
+        return Rect(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def enlargement_for(self, other: "Rect") -> float:
+        """Area growth needed to also cover *other* (R* ChooseSubtree)."""
+        return self.union(other).area - self.area
+
+    def distance_to_center_of(self, other: "Rect") -> float:
+        """Distance between rectangle centers (used by forced reinsert)."""
+        return self.center.distance_to(other.center)

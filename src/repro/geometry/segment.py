@@ -1,0 +1,119 @@
+"""Line segments with canonical keys for shared-edge matching."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.predicates import (
+    EPS,
+    on_segment,
+    quantize_point,
+    segment_intersection_point,
+    segments_intersect,
+)
+
+
+class Segment:
+    """A closed line segment between two distinct points."""
+
+    __slots__ = ("a", "b")
+
+    def __init__(self, a: Point, b: Point) -> None:
+        if a == b:
+            raise GeometryError(f"degenerate zero-length segment at {a!r}")
+        self.a = a
+        self.b = b
+
+    def __repr__(self) -> str:
+        return f"Segment({self.a!r}, {self.b!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Segment):
+            return NotImplemented
+        return {self.a, self.b} == {other.a, other.b}
+
+    def __hash__(self) -> int:
+        return hash(frozenset((self.a, self.b)))
+
+    # -- properties ---------------------------------------------------------
+
+    @property
+    def length(self) -> float:
+        """Euclidean length."""
+        return self.a.distance_to(self.b)
+
+    @property
+    def midpoint(self) -> Point:
+        """Point halfway along the segment."""
+        return Point((self.a.x + self.b.x) / 2.0, (self.a.y + self.b.y) / 2.0)
+
+    @property
+    def min_x(self) -> float:
+        return min(self.a.x, self.b.x)
+
+    @property
+    def max_x(self) -> float:
+        return max(self.a.x, self.b.x)
+
+    @property
+    def min_y(self) -> float:
+        return min(self.a.y, self.b.y)
+
+    @property
+    def max_y(self) -> float:
+        return max(self.a.y, self.b.y)
+
+    def canonical_key(self) -> Tuple[Tuple[float, float], Tuple[float, float]]:
+        """Orientation-independent hashable key.
+
+        Two polygons sharing an edge produce the same key for it, which is
+        how subspace extents are extracted by edge cancellation.
+        """
+        ka = quantize_point(self.a)
+        kb = quantize_point(self.b)
+        return (ka, kb) if ka <= kb else (kb, ka)
+
+    # -- geometry -----------------------------------------------------------
+
+    def contains_point(self, p: Point) -> bool:
+        """True if *p* lies on the segment (within tolerance)."""
+        return on_segment(p, self.a, self.b)
+
+    def intersects(self, other: "Segment") -> bool:
+        """True if the closed segments share at least one point."""
+        return segments_intersect(self.a, self.b, other.a, other.b)
+
+    def intersection_with(self, other: "Segment") -> Optional[Point]:
+        """Single intersection point, or None (parallel / disjoint)."""
+        return segment_intersection_point(self.a, self.b, other.a, other.b)
+
+    def y_at(self, x: float) -> float:
+        """y-coordinate of the (non-vertical) support line at *x*."""
+        if abs(self.b.x - self.a.x) <= EPS:
+            raise GeometryError("y_at undefined for a vertical segment")
+        t = (x - self.a.x) / (self.b.x - self.a.x)
+        return self.a.y + t * (self.b.y - self.a.y)
+
+    def x_at(self, y: float) -> float:
+        """x-coordinate of the (non-horizontal) support line at *y*."""
+        if abs(self.b.y - self.a.y) <= EPS:
+            raise GeometryError("x_at undefined for a horizontal segment")
+        t = (y - self.a.y) / (self.b.y - self.a.y)
+        return self.a.x + t * (self.b.x - self.a.x)
+
+    def reversed(self) -> "Segment":
+        """The same segment with endpoints swapped."""
+        return Segment(self.b, self.a)
+
+    def distance_to_point(self, p: Point) -> float:
+        """Euclidean distance from *p* to the closed segment."""
+        d = self.b - self.a
+        length2 = d.dot(d)
+        if length2 <= EPS * EPS:
+            return self.a.distance_to(p)
+        t = (p - self.a).dot(d) / length2
+        t = min(1.0, max(0.0, t))
+        closest = Point(self.a.x + t * d.x, self.a.y + t * d.y)
+        return closest.distance_to(p)

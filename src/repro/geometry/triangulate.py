@@ -1,0 +1,189 @@
+"""Ear-clipping triangulation of simple polygons.
+
+Kirkpatrick's point-location hierarchy (the paper's trian-tree baseline)
+needs two triangulation services: triangulating each data region at the base
+level, and re-triangulating the star-shaped hole left when an independent
+vertex is removed.  Ear clipping covers both (the holes are simple
+polygons).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.predicates import EPS, orientation
+
+
+class Triangle:
+    """A triangle with CCW vertices, the node unit of the trian-tree."""
+
+    __slots__ = ("a", "b", "c")
+
+    def __init__(self, a: Point, b: Point, c: Point) -> None:
+        if orientation(a, b, c) == 0:
+            raise GeometryError(f"degenerate triangle {a!r} {b!r} {c!r}")
+        if orientation(a, b, c) < 0:
+            b, c = c, b
+        self.a = a
+        self.b = b
+        self.c = c
+
+    def __repr__(self) -> str:
+        return f"Triangle({self.a!r}, {self.b!r}, {self.c!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Triangle):
+            return NotImplemented
+        return {self.a, self.b, self.c} == {other.a, other.b, other.c}
+
+    def __hash__(self) -> int:
+        return hash(frozenset((self.a, self.b, self.c)))
+
+    @property
+    def vertices(self) -> Tuple[Point, Point, Point]:
+        return (self.a, self.b, self.c)
+
+    @property
+    def area(self) -> float:
+        return abs((self.b - self.a).cross(self.c - self.a)) / 2.0
+
+    def contains_point(self, p: Point) -> bool:
+        """Closed containment test via orientation signs."""
+        d1 = orientation(self.a, self.b, p)
+        d2 = orientation(self.b, self.c, p)
+        d3 = orientation(self.c, self.a, p)
+        return d1 >= 0 and d2 >= 0 and d3 >= 0
+
+    def overlaps(self, other: "Triangle") -> bool:
+        """True if the two closed triangles share interior or boundary."""
+        return self._sat_overlap(other, strict=False)
+
+    def overlaps_interior(self, other: "Triangle") -> bool:
+        """True if the triangles share interior area (touching edges or
+        vertices do not count).
+
+        This is the linking test of Kirkpatrick's construction: a
+        re-triangulated triangle becomes the parent of exactly the removed
+        triangles it shares area with.
+        """
+        return self._sat_overlap(other, strict=True)
+
+    def _sat_overlap(self, other: "Triangle", strict: bool) -> bool:
+        # Separating-axis test on the 6 edge normals.
+        for tri1, tri2 in ((self, other), (other, self)):
+            verts1 = tri1.vertices
+            verts2 = tri2.vertices
+            for i in range(3):
+                a = verts1[i]
+                b = verts1[(i + 1) % 3]
+                # Outward edge normal for a CCW triangle.
+                nx = b.y - a.y
+                ny = a.x - b.x
+                proj1 = [nx * v.x + ny * v.y for v in verts1]
+                proj2 = [nx * v.x + ny * v.y for v in verts2]
+                if strict:
+                    if min(proj2) >= max(proj1) - EPS or min(proj1) >= max(
+                        proj2
+                    ) - EPS:
+                        return False
+                elif min(proj2) > max(proj1) + EPS or min(proj1) > max(
+                    proj2
+                ) + EPS:
+                    return False
+        return True
+
+
+def triangulate_polygon(vertices: Sequence[Point]) -> List[Triangle]:
+    """Triangulate a simple polygon ring (any orientation) by ear clipping.
+
+    Runs in O(n^2), which is ample for the region sizes in this library
+    (Voronoi cells rarely exceed ~20 vertices).
+    """
+    ring = list(vertices)
+    if len(ring) >= 2 and ring[0] == ring[-1]:
+        ring = ring[:-1]
+    if len(ring) < 3:
+        raise GeometryError("cannot triangulate fewer than 3 vertices")
+    if _signed_area2(ring) < 0:
+        ring.reverse()
+
+    triangles: List[Triangle] = []
+    indices = list(range(len(ring)))
+
+    guard = 0
+    max_iterations = len(ring) * len(ring) + 10
+    while len(indices) > 3:
+        guard += 1
+        if guard > max_iterations:
+            raise GeometryError("ear clipping failed to converge (non-simple ring?)")
+        ear_found = False
+        n = len(indices)
+        for k in range(n):
+            i_prev = indices[(k - 1) % n]
+            i_cur = indices[k]
+            i_next = indices[(k + 1) % n]
+            a, b, c = ring[i_prev], ring[i_cur], ring[i_next]
+            if orientation(a, b, c) <= 0:
+                continue  # reflex or collinear corner, not an ear
+            if _any_point_inside(ring, indices, i_prev, i_cur, i_next):
+                continue
+            triangles.append(Triangle(a, b, c))
+            indices.pop(k)
+            ear_found = True
+            break
+        if not ear_found:
+            # Collinear chains can block every strictly-convex ear; drop one
+            # exactly-collinear vertex and retry.
+            dropped = False
+            for k in range(len(indices)):
+                i_prev = indices[(k - 1) % len(indices)]
+                i_cur = indices[k]
+                i_next = indices[(k + 1) % len(indices)]
+                if orientation(ring[i_prev], ring[i_cur], ring[i_next]) == 0:
+                    indices.pop(k)
+                    dropped = True
+                    break
+            if not dropped:
+                raise GeometryError("no ear found: ring is not a simple polygon")
+
+    if len(indices) == 3:
+        a, b, c = (ring[indices[0]], ring[indices[1]], ring[indices[2]])
+        if orientation(a, b, c) != 0:
+            triangles.append(Triangle(a, b, c))
+    return triangles
+
+
+def _any_point_inside(
+    ring: Sequence[Point], indices: Sequence[int], i_prev: int, i_cur: int, i_next: int
+) -> bool:
+    """True if any other active vertex lies in the closed candidate ear.
+
+    The test must be closed, not strict: a reflex vertex sitting exactly on
+    the candidate diagonal (common in rectilinear polygons) still
+    invalidates the ear — clipping it would leave a self-overlapping ring.
+    Vertices that merely coincide with the ear's corners do not block.
+    """
+    a, b, c = ring[i_prev], ring[i_cur], ring[i_next]
+    for idx in indices:
+        if idx in (i_prev, i_cur, i_next):
+            continue
+        p = ring[idx]
+        if p == a or p == b or p == c:
+            continue
+        if (
+            orientation(a, b, p) >= 0
+            and orientation(b, c, p) >= 0
+            and orientation(c, a, p) >= 0
+        ):
+            return True
+    return False
+
+
+def _signed_area2(vertices: Sequence[Point]) -> float:
+    total = 0.0
+    n = len(vertices)
+    for i in range(n):
+        total += vertices[i].cross(vertices[(i + 1) % n])
+    return total

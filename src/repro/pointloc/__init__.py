@@ -1,0 +1,15 @@
+"""Object-decomposition baselines (§3.1): planar point location.
+
+* :mod:`repro.pointloc.trapezoidal` — the randomized-incremental
+  trapezoidal map and its search DAG (the paper's *trap-tree*).
+* :mod:`repro.pointloc.kirkpatrick` — Kirkpatrick's triangulation
+  hierarchy (the paper's *trian-tree*).
+
+Both provide a logical ``locate`` plus a paged form implementing the
+broadcast :class:`~repro.broadcast.packets.PagedIndex` protocol.
+"""
+
+from repro.pointloc.trapezoidal import TrapTree, PagedTrapTree
+from repro.pointloc.kirkpatrick import TrianTree, PagedTrianTree
+
+__all__ = ["TrapTree", "PagedTrapTree", "TrianTree", "PagedTrianTree"]

@@ -1,0 +1,19 @@
+"""Planar subdivisions: the data-region model of the paper (Definition 1).
+
+A :class:`Subdivision` is a set of polygonal *data regions* that tile the
+rectangular service area and are pairwise interior-disjoint.  Each region is
+the valid scope of one data instance.  The subdivision also provides the
+brute-force point-location oracle used to verify every index structure.
+"""
+
+from repro.tessellation.subdivision import DataRegion, Subdivision
+from repro.tessellation.voronoi import bounded_voronoi, voronoi_subdivision
+from repro.tessellation.grid import grid_subdivision
+
+__all__ = [
+    "DataRegion",
+    "Subdivision",
+    "bounded_voronoi",
+    "voronoi_subdivision",
+    "grid_subdivision",
+]

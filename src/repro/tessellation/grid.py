@@ -1,0 +1,65 @@
+"""Regular grid tessellations — known-answer subdivisions for tests.
+
+A rows x cols grid of identical rectangles has fully predictable geometry:
+region ids, boundaries and point-location answers can all be computed in
+closed form, which makes grids the reference workload for unit-testing the
+index structures independently of the Voronoi machinery.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SubdivisionError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+from repro.tessellation.subdivision import DataRegion, Subdivision
+
+
+def grid_subdivision(
+    rows: int,
+    cols: int,
+    service_area: Rect = None,
+    payload_size: int = 1024,
+) -> Subdivision:
+    """Grid of ``rows x cols`` rectangular regions.
+
+    Region ids are assigned row-major from the bottom-left cell:
+    ``region_id = row * cols + col``.
+    """
+    if rows < 1 or cols < 1:
+        raise SubdivisionError("grid needs at least one row and one column")
+    if service_area is None:
+        service_area = Rect(0.0, 0.0, 1.0, 1.0)
+    dx = service_area.width / cols
+    dy = service_area.height / rows
+    regions = []
+    for row in range(rows):
+        for col in range(cols):
+            x0 = service_area.min_x + col * dx
+            y0 = service_area.min_y + row * dy
+            x1 = service_area.min_x + (col + 1) * dx
+            y1 = service_area.min_y + (row + 1) * dy
+            poly = Polygon(
+                [Point(x0, y0), Point(x1, y0), Point(x1, y1), Point(x0, y1)]
+            )
+            regions.append(
+                DataRegion(
+                    region_id=row * cols + col,
+                    polygon=poly,
+                    payload_size=payload_size,
+                )
+            )
+    return Subdivision(regions, service_area=service_area)
+
+
+def grid_region_id_at(
+    p: Point, rows: int, cols: int, service_area: Rect = None
+) -> int:
+    """Closed-form point location in a grid (interior points)."""
+    if service_area is None:
+        service_area = Rect(0.0, 0.0, 1.0, 1.0)
+    col = int((p.x - service_area.min_x) / service_area.width * cols)
+    row = int((p.y - service_area.min_y) / service_area.height * rows)
+    col = min(max(col, 0), cols - 1)
+    row = min(max(row, 0), rows - 1)
+    return row * cols + col

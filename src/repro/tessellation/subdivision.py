@@ -1,0 +1,221 @@
+"""The planar-subdivision data model (paper Definition 1).
+
+A data region is the polygonal valid scope of one data instance; the regions
+of one data type tile the service area.  The :class:`Subdivision` owns the
+regions, validates the tiling contract, answers brute-force point-location
+queries (the correctness oracle for every index), and extracts the boundary
+of an arbitrary subset of regions by edge cancellation — the primitive the
+D-tree partition algorithm is built on.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import QueryError, SubdivisionError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.predicates import quantize_point
+from repro.geometry.rect import Rect
+from repro.geometry.segment import Segment
+
+EdgeKey = Tuple[Tuple[float, float], Tuple[float, float]]
+
+
+class DataRegion:
+    """One data instance together with its polygonal valid scope."""
+
+    __slots__ = ("region_id", "polygon", "payload_size")
+
+    def __init__(self, region_id: int, polygon: Polygon, payload_size: int = 1024):
+        self.region_id = int(region_id)
+        self.polygon = polygon
+        #: Size of the data instance in bytes (Table 2 uses 1 KB).
+        self.payload_size = int(payload_size)
+
+    def __repr__(self) -> str:
+        return f"DataRegion(id={self.region_id}, n_vertices={len(self.polygon)})"
+
+    def contains(self, p: Point) -> bool:
+        """True if *p* lies in the closed valid scope."""
+        return self.polygon.contains_point(p)
+
+
+class Subdivision:
+    """A set of data regions tiling a rectangular service area."""
+
+    def __init__(
+        self,
+        regions: Sequence[DataRegion],
+        service_area: Optional[Rect] = None,
+    ) -> None:
+        if not regions:
+            raise SubdivisionError("a subdivision needs at least one region")
+        ids = [r.region_id for r in regions]
+        if len(set(ids)) != len(ids):
+            raise SubdivisionError("duplicate region ids")
+        self.regions: Tuple[DataRegion, ...] = tuple(regions)
+        if service_area is None:
+            service_area = Rect.union_of(r.polygon.bbox for r in regions)
+        self.service_area = service_area
+        self._by_id: Dict[int, DataRegion] = {r.region_id: r for r in self.regions}
+
+    def __len__(self) -> int:
+        return len(self.regions)
+
+    def __repr__(self) -> str:
+        return f"Subdivision(n={len(self.regions)}, area={self.service_area!r})"
+
+    def region(self, region_id: int) -> DataRegion:
+        """Region with the given id."""
+        try:
+            return self._by_id[region_id]
+        except KeyError:
+            raise SubdivisionError(f"unknown region id {region_id}") from None
+
+    @property
+    def region_ids(self) -> List[int]:
+        return [r.region_id for r in self.regions]
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(
+        self, samples: int = 2000, seed: int = 0, area_rtol: float = 1e-6
+    ) -> None:
+        """Check the Definition-1 contract.
+
+        Raises :class:`SubdivisionError` when the total region area does not
+        match the service area (coverage + disjointness in aggregate) or
+        when any sampled interior point is covered by zero regions or by
+        two regions *in their interiors*.
+        """
+        total = sum(r.polygon.area for r in self.regions)
+        expected = self.service_area.area
+        if abs(total - expected) > area_rtol * max(expected, 1.0):
+            raise SubdivisionError(
+                f"region areas sum to {total:.9g}, service area is {expected:.9g}"
+            )
+        rng = random.Random(seed)
+        for _ in range(samples):
+            p = Point(
+                rng.uniform(self.service_area.min_x, self.service_area.max_x),
+                rng.uniform(self.service_area.min_y, self.service_area.max_y),
+            )
+            hits = [
+                r.region_id
+                for r in self.regions
+                if r.polygon.contains_point(p, include_boundary=False)
+            ]
+            if len(hits) > 1:
+                raise SubdivisionError(f"point {p!r} interior to regions {hits}")
+            if not hits:
+                # On-boundary samples are legitimate; only fail if the point
+                # is not even on any closed region.
+                closed_hits = [r.region_id for r in self.regions if r.contains(p)]
+                if not closed_hits:
+                    raise SubdivisionError(f"point {p!r} not covered by any region")
+
+    # -- point location (oracle) -----------------------------------------------
+
+    def locate(self, p: Point) -> int:
+        """Brute-force point location: id of the region containing *p*.
+
+        Boundary points resolve to the lowest region id that contains them,
+        which keeps the oracle deterministic.
+        """
+        if not self.service_area.contains_point(p):
+            raise QueryError(f"{p!r} is outside the service area")
+        best: Optional[int] = None
+        for r in self.regions:
+            if r.polygon.contains_point(p, include_boundary=False):
+                return r.region_id
+            if best is None and r.contains(p):
+                best = r.region_id
+        if best is None:
+            raise QueryError(f"{p!r} not covered by any region (corrupt subdivision?)")
+        return best
+
+    # -- boundary extraction -----------------------------------------------------
+
+    def boundary_of_subset(self, region_ids: Iterable[int]) -> List[Segment]:
+        """Boundary of the union of the given regions, by edge cancellation.
+
+        Every region edge whose canonical key occurs exactly once within the
+        subset is boundary; keys occurring twice are interior shared edges.
+        Exact for subdivisions whose neighbours share whole edges (Voronoi
+        diagrams, grids).
+        """
+        counter: Dict[EdgeKey, List[Segment]] = defaultdict(list)
+        for rid in region_ids:
+            for edge in self.region(rid).polygon.edges():
+                counter[edge.canonical_key()].append(edge)
+        boundary: List[Segment] = []
+        for edges in counter.values():
+            if len(edges) == 1:
+                boundary.append(edges[0])
+            elif len(edges) > 2:
+                raise SubdivisionError(
+                    "edge shared by more than two regions — regions do not "
+                    "form an edge-to-edge subdivision"
+                )
+        return boundary
+
+    def shared_edge_counts(self) -> Dict[EdgeKey, int]:
+        """Multiplicity of every edge key over all regions (diagnostics)."""
+        counter: Dict[EdgeKey, int] = defaultdict(int)
+        for r in self.regions:
+            for edge in r.polygon.edges():
+                counter[edge.canonical_key()] += 1
+        return dict(counter)
+
+    def adjacency(self) -> Dict[int, List[int]]:
+        """Region adjacency graph (ids of regions sharing an edge)."""
+        owners: Dict[EdgeKey, List[int]] = defaultdict(list)
+        for r in self.regions:
+            for edge in r.polygon.edges():
+                owners[edge.canonical_key()].append(r.region_id)
+        neigh: Dict[int, set] = {r.region_id: set() for r in self.regions}
+        for ids in owners.values():
+            if len(ids) == 2:
+                a, b = ids
+                if a != b:
+                    neigh[a].add(b)
+                    neigh[b].add(a)
+        return {rid: sorted(s) for rid, s in neigh.items()}
+
+    def all_edges(self) -> List[Segment]:
+        """Each distinct undirected edge of the subdivision exactly once."""
+        seen: Dict[EdgeKey, Segment] = {}
+        for r in self.regions:
+            for edge in r.polygon.edges():
+                seen.setdefault(edge.canonical_key(), edge)
+        return list(seen.values())
+
+    def random_point(self, rng: random.Random) -> Point:
+        """Uniform random point in the service area (the paper's query model)."""
+        return Point(
+            rng.uniform(self.service_area.min_x, self.service_area.max_x),
+            rng.uniform(self.service_area.min_y, self.service_area.max_y),
+        )
+
+    def directed_edge_region_above(self) -> Dict[EdgeKey, Optional[int]]:
+        """Map each non-vertical undirected edge to the region above it.
+
+        For a CCW polygon the interior lies to the left of each directed
+        edge, so a left-to-right directed edge has its region *above* it.
+        The trapezoidal map uses this to map a trapezoid (which knows its
+        bottom segment) to the containing data region.
+        """
+        above: Dict[EdgeKey, Optional[int]] = {}
+        for r in self.regions:
+            for a, b in r.polygon.directed_edges():
+                if a.x == b.x:
+                    continue  # vertical edges never bound a trapezoid below
+                key = Segment(a, b).canonical_key()
+                if a.x < b.x:
+                    above[key] = r.region_id
+                else:
+                    above.setdefault(key, None)
+        return above

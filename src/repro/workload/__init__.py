@@ -1,0 +1,15 @@
+"""Query workload generators (extension beyond the paper's uniform model)."""
+
+from repro.workload.generators import (
+    QueryWorkload,
+    uniform_workload,
+    hotspot_workload,
+    zipf_region_workload,
+)
+
+__all__ = [
+    "QueryWorkload",
+    "uniform_workload",
+    "hotspot_workload",
+    "zipf_region_workload",
+]

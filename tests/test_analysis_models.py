@@ -1,0 +1,80 @@
+"""The analytic D-tree cost models must track the simulator."""
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    dtree_expected_tuning,
+    dtree_index_bytes,
+    latency_overhead_estimate,
+)
+from repro.broadcast.metrics import evaluate_index
+from repro.broadcast.params import SystemParameters
+from repro.core.dtree import DTree
+from repro.core.paging import PagedDTree
+
+from tests.conftest import random_points_in
+
+
+@pytest.fixture(scope="module")
+def tree(voronoi60):
+    return DTree.build(voronoi60)
+
+
+class TestIndexBytes:
+    def test_matches_sum_of_node_sizes(self, tree):
+        paged = PagedDTree(tree, SystemParameters.for_index("dtree", 256))
+        manual = sum(paged.node_size(n) for n in tree.iter_nodes())
+        assert dtree_index_bytes(paged) == manual
+
+    def test_bytes_bounded_by_packets(self, tree):
+        for cap in (64, 256, 2048):
+            paged = PagedDTree(tree, SystemParameters.for_index("dtree", cap))
+            assert dtree_index_bytes(paged) <= cap * len(paged.packets)
+
+
+class TestExpectedTuning:
+    @pytest.mark.parametrize("cap", [64, 128, 256, 1024])
+    def test_tracks_simulation(self, voronoi60, tree, cap):
+        paged = PagedDTree(tree, SystemParameters.for_index("dtree", cap))
+        points = random_points_in(voronoi60, 800, seed=cap)
+        simulated = sum(paged.trace(p).tuning_time for p in points) / len(points)
+        estimated = dtree_expected_tuning(paged)
+        assert estimated == pytest.approx(simulated, rel=0.3)
+
+    def test_early_termination_off_estimates_higher(self, voronoi60, tree):
+        cap = 64
+        on = PagedDTree(
+            tree, SystemParameters.for_index("dtree", cap), early_termination=True
+        )
+        off = PagedDTree(
+            tree, SystemParameters.for_index("dtree", cap), early_termination=False
+        )
+        assert dtree_expected_tuning(off) >= dtree_expected_tuning(on)
+
+    def test_monotone_in_capacity(self, tree):
+        estimates = [
+            dtree_expected_tuning(
+                PagedDTree(tree, SystemParameters.for_index("dtree", cap))
+            )
+            for cap in (64, 256, 2048)
+        ]
+        assert estimates[0] > estimates[1] > estimates[2]
+
+
+class TestLatencyEstimate:
+    @pytest.mark.parametrize("cap", [128, 512])
+    def test_tracks_simulation(self, voronoi60, tree, cap):
+        params = SystemParameters.for_index("dtree", cap)
+        paged = PagedDTree(tree, params)
+        points = random_points_in(voronoi60, 400, seed=cap + 1)
+        measured = evaluate_index(
+            paged, voronoi60.region_ids, params, points, seed=3
+        ).normalized_latency
+        estimated = latency_overhead_estimate(paged, len(voronoi60))
+        assert estimated == pytest.approx(measured, rel=0.15)
+
+    def test_overhead_above_one(self, tree, voronoi60):
+        paged = PagedDTree(tree, SystemParameters.for_index("dtree", 256))
+        assert latency_overhead_estimate(paged, len(voronoi60)) > 1.0

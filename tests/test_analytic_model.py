@@ -1,0 +1,97 @@
+"""Validation of the analytic (1, m) latency model against simulation.
+
+The optimal-m choice rests on the closed-form expected latency of
+Imielinski et al.; if the simulator disagreed with the formula the whole
+latency axis of Figures 10/13 would be suspect.  These tests pin the two
+against each other.
+"""
+
+import random
+
+import pytest
+
+from repro.broadcast.client import BroadcastClient
+from repro.broadcast.packets import Packet, QueryTrace
+from repro.broadcast.params import SystemParameters
+from repro.broadcast.schedule import (
+    BroadcastSchedule,
+    expected_latency_formula,
+    optimal_m,
+)
+
+PARAMS = SystemParameters(packet_capacity=1024)  # 1 packet per bucket
+
+
+class OneProbeIndex:
+    """Idealised index: answers from the first index packet.
+
+    This matches the assumptions of the analytic model (the index search
+    itself consumes negligible channel time), so simulation and formula
+    must agree closely.
+    """
+
+    def __init__(self, n_packets, n_regions, seed=0):
+        self.packets = [Packet(i, 1024) for i in range(n_packets)]
+        self._rng = random.Random(seed)
+        self._n_regions = n_regions
+
+    def trace(self, point):
+        return QueryTrace(self._rng.randrange(self._n_regions), [0])
+
+
+@pytest.mark.parametrize("index_packets,n_regions,m", [
+    (4, 100, 1),
+    (4, 100, 5),
+    (10, 200, 3),
+    (2, 50, 7),
+])
+def test_simulated_latency_matches_formula(index_packets, n_regions, m):
+    schedule = BroadcastSchedule(
+        index_packet_count=index_packets,
+        region_ids=list(range(n_regions)),
+        params=PARAMS,
+        m=m,
+    )
+    index = OneProbeIndex(index_packets, n_regions, seed=1)
+    client = BroadcastClient(index, schedule)
+    rng = random.Random(2)
+
+    total = 0.0
+    trials = 4000
+    for _ in range(trials):
+        t = rng.uniform(0, schedule.cycle_length)
+        total += client.query(None, t).access_latency
+    simulated = total / trials
+
+    analytic = expected_latency_formula(index_packets, n_regions, m)
+    # The formula omits the one-packet index read and the bucket download
+    # (both O(1)); allow that plus sampling noise.
+    assert simulated == pytest.approx(analytic, rel=0.12)
+
+
+def test_optimal_m_minimises_simulated_latency():
+    """The m chosen analytically is (near-)optimal in simulation too."""
+    index_packets, n_regions = 6, 120
+    best_m = optimal_m(index_packets, n_regions)
+
+    def simulate(m):
+        schedule = BroadcastSchedule(
+            index_packet_count=index_packets,
+            region_ids=list(range(n_regions)),
+            params=PARAMS,
+            m=m,
+        )
+        client = BroadcastClient(
+            OneProbeIndex(index_packets, n_regions, seed=3), schedule
+        )
+        rng = random.Random(4)
+        return sum(
+            client.query(None, rng.uniform(0, schedule.cycle_length)).access_latency
+            for _ in range(3000)
+        ) / 3000
+
+    best_latency = simulate(best_m)
+    for m in (1, 2, best_m // 2 or 1, best_m * 2):
+        if m == best_m:
+            continue
+        assert best_latency <= simulate(m) * 1.05

@@ -1,0 +1,110 @@
+"""Tests for the client-side packet cache (extension)."""
+
+import random
+
+import pytest
+
+from repro.broadcast.caching import CachingBroadcastClient, PacketCache
+from repro.broadcast.client import BroadcastClient
+from repro.broadcast.params import SystemParameters
+from repro.broadcast.schedule import BroadcastSchedule
+from repro.core.dtree import DTree
+from repro.core.paging import PagedDTree
+from repro.errors import BroadcastError
+from repro.geometry.point import Point
+
+from tests.conftest import random_points_in
+
+
+class TestPacketCache:
+    def test_lru_eviction(self):
+        cache = PacketCache(2)
+        cache.touch(1)
+        cache.touch(2)
+        cache.touch(1)  # refresh 1; 2 becomes LRU
+        cache.touch(3)
+        assert 1 in cache and 3 in cache and 2 not in cache
+
+    def test_zero_capacity_never_stores(self):
+        cache = PacketCache(0)
+        cache.touch(1)
+        assert 1 not in cache and len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(BroadcastError):
+            PacketCache(-1)
+
+
+@pytest.fixture(scope="module")
+def stack(voronoi60):
+    params = SystemParameters.for_index("dtree", 256)
+    paged = PagedDTree(DTree.build(voronoi60), params)
+    schedule = BroadcastSchedule(
+        index_packet_count=len(paged.packets),
+        region_ids=voronoi60.region_ids,
+        params=params,
+    )
+    return voronoi60, paged, schedule
+
+
+class TestCachingClient:
+    def test_answers_match_oracle(self, stack):
+        sub, paged, schedule = stack
+        client = CachingBroadcastClient(paged, schedule, cache_packets=8)
+        rng = random.Random(1)
+        for p in random_points_in(sub, 100, seed=2):
+            result = client.query(p, rng.uniform(0, schedule.cycle_length))
+            assert result.region_id == sub.locate(p)
+
+    def test_warm_cache_reduces_tuning(self, stack):
+        sub, paged, schedule = stack
+        cold = BroadcastClient(paged, schedule)
+        warm = CachingBroadcastClient(paged, schedule, cache_packets=16)
+        rng = random.Random(3)
+        points = random_points_in(sub, 200, seed=4)
+        times = [rng.uniform(0, schedule.cycle_length) for _ in points]
+        cold_total = sum(
+            cold.query(p, t).index_tuning_time for p, t in zip(points, times)
+        )
+        warm_total = sum(
+            r.index_tuning_time for r in warm.run_session(points, times)
+        )
+        assert warm_total < cold_total
+
+    def test_repeated_query_becomes_free(self, stack):
+        sub, paged, schedule = stack
+        client = CachingBroadcastClient(paged, schedule, cache_packets=32)
+        p = Point(0.41, 0.63)
+        first = client.query(p, 10.0)
+        second = client.query(p, 500.0)
+        assert first.index_tuning_time >= 1
+        assert second.index_tuning_time == 0
+        assert second.region_id == first.region_id
+
+    def test_fully_cached_query_can_beat_cold_latency(self, stack):
+        sub, paged, schedule = stack
+        client = CachingBroadcastClient(paged, schedule, cache_packets=64)
+        cold = BroadcastClient(paged, schedule)
+        p = Point(0.41, 0.63)
+        client.query(p, 10.0)  # warm up
+        rng = random.Random(5)
+        warm_latency = 0.0
+        cold_latency = 0.0
+        for _ in range(200):
+            t = rng.uniform(0, schedule.cycle_length)
+            warm_latency += client.query(p, t).access_latency
+            cold_latency += cold.query(p, t).access_latency
+        assert warm_latency < cold_latency
+
+    def test_cache_capacity_zero_equals_plain_client(self, stack):
+        sub, paged, schedule = stack
+        plain = BroadcastClient(paged, schedule)
+        uncached = CachingBroadcastClient(paged, schedule, cache_packets=0)
+        rng = random.Random(6)
+        for p in random_points_in(sub, 60, seed=7):
+            t = rng.uniform(0, schedule.cycle_length)
+            a = plain.query(p, t)
+            b = uncached.query(p, t)
+            assert a.region_id == b.region_id
+            assert a.index_tuning_time == b.index_tuning_time
+            assert a.access_latency == b.access_latency

@@ -1,0 +1,94 @@
+"""Unit tests for the three evaluation metrics."""
+
+import pytest
+
+from repro.errors import BroadcastError
+from repro.geometry.point import Point
+from repro.broadcast.metrics import (
+    MetricsSummary,
+    evaluate_index,
+    indexing_efficiency,
+    no_index_latency,
+    no_index_tuning_time,
+)
+from repro.broadcast.packets import Packet, QueryTrace
+from repro.broadcast.params import SystemParameters
+
+PARAMS = SystemParameters(packet_capacity=1024)
+
+
+class StubIndex:
+    def __init__(self, n_packets, region=0):
+        self.packets = [Packet(i, 1024) for i in range(n_packets)]
+        self._region = region
+
+    def trace(self, point):
+        return QueryTrace(self._region, [0])
+
+
+class TestNoIndexBaselines:
+    def test_no_index_latency_is_half_cycle_plus_download(self):
+        # 100 regions x 1 packet: half = 50, +1 download.
+        assert no_index_latency(100, PARAMS) == pytest.approx(51.0)
+
+    def test_no_index_tuning_equals_latency_for_flat_scan(self):
+        assert no_index_tuning_time(100, PARAMS) == no_index_latency(100, PARAMS)
+
+    def test_scales_with_bucket_size(self):
+        params = SystemParameters(packet_capacity=256)  # 4 packets per bucket
+        assert no_index_latency(10, params) == pytest.approx(24.0)
+
+
+class TestIndexingEfficiency:
+    def test_positive_when_index_helps(self):
+        # Tuning 5 vs 51 saved over latency overhead of 10 packets.
+        eff = indexing_efficiency(5.0, 61.0, 100, PARAMS)
+        assert eff == pytest.approx((51.0 - 5.0) / 10.0)
+
+    def test_overhead_floor_prevents_division_blowup(self):
+        eff = indexing_efficiency(5.0, 40.0, 100, PARAMS)  # latency < optimal
+        assert eff == pytest.approx(46.0)  # floored overhead of 1 packet
+
+
+class TestEvaluateIndex:
+    def test_summary_fields(self):
+        points = [Point(0.5, 0.5)] * 50
+        summary = evaluate_index(
+            StubIndex(2), list(range(20)), PARAMS, points, seed=3
+        )
+        assert summary.index_packets == 2
+        assert summary.queries == 50
+        assert summary.m >= 1
+        assert summary.normalized_latency > 0
+        assert summary.mean_index_tuning == pytest.approx(1.0)
+        assert summary.mean_total_tuning == pytest.approx(3.0)  # probe+1+bucket
+        assert summary.normalized_index_size == pytest.approx(2 / 20)
+
+    def test_deterministic_for_fixed_seed(self):
+        points = [Point(0.5, 0.5)] * 20
+        a = evaluate_index(StubIndex(1), list(range(10)), PARAMS, points, seed=5)
+        b = evaluate_index(StubIndex(1), list(range(10)), PARAMS, points, seed=5)
+        assert a.mean_access_latency == b.mean_access_latency
+
+    def test_seed_changes_issue_times(self):
+        points = [Point(0.5, 0.5)] * 20
+        a = evaluate_index(StubIndex(1), list(range(10)), PARAMS, points, seed=5)
+        b = evaluate_index(StubIndex(1), list(range(10)), PARAMS, points, seed=6)
+        assert a.mean_access_latency != b.mean_access_latency
+
+    def test_explicit_m_override(self):
+        points = [Point(0.5, 0.5)] * 20
+        forced = evaluate_index(
+            StubIndex(1), list(range(10)), PARAMS, points, seed=5, m=1
+        )
+        assert forced.m == 1
+
+    def test_empty_queries_rejected(self):
+        with pytest.raises(BroadcastError):
+            evaluate_index(StubIndex(1), [0, 1], PARAMS, [], seed=0)
+
+
+class TestMetricsSummary:
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(TypeError):
+            MetricsSummary(bogus=1)

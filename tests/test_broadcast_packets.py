@@ -1,0 +1,71 @@
+"""Unit tests for packets, stores and query traces."""
+
+import pytest
+
+from repro.errors import PagingError
+from repro.broadcast.packets import (
+    Packet,
+    PacketStore,
+    QueryTrace,
+    dedupe_consecutive,
+)
+
+
+class TestPacket:
+    def test_allocate_tracks_usage(self):
+        p = Packet(0, 64)
+        p.allocate(30, "a")
+        assert p.used == 30 and p.free == 34
+        p.allocate(34, "b")
+        assert p.free == 0
+
+    def test_overflow_rejected(self):
+        p = Packet(0, 64)
+        with pytest.raises(PagingError):
+            p.allocate(65, "too-big")
+
+    def test_contents_labels(self):
+        p = Packet(0, 64)
+        p.allocate(10, "node1")
+        p.allocate(10, "node2")
+        assert p.contents == ["node1", "node2"]
+
+
+class TestPacketStore:
+    def test_sequential_ids(self):
+        store = PacketStore(64)
+        a, b = store.new_packet(), store.new_packet()
+        assert (a.packet_id, b.packet_id) == (0, 1)
+        assert len(store) == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(PagingError):
+            PacketStore(0)
+
+    def test_total_bytes(self):
+        store = PacketStore(64)
+        store.new_packet().allocate(10, "x")
+        store.new_packet().allocate(20, "y")
+        assert store.total_bytes_used == 30
+
+
+class TestQueryTrace:
+    def test_tuning_time_counts_distinct_packets(self):
+        trace = QueryTrace(7, [0, 1, 1, 2, 1])
+        assert trace.tuning_time == 3
+
+    def test_empty_trace(self):
+        assert QueryTrace(0, []).tuning_time == 0
+
+
+class TestDedupe:
+    def test_collapses_runs(self):
+        assert dedupe_consecutive([0, 0, 1, 1, 1, 2, 2]) == [0, 1, 2]
+
+    def test_preserves_revisits(self):
+        # Non-consecutive repeats are kept: they model re-reading a packet
+        # after having moved past it.
+        assert dedupe_consecutive([0, 1, 0]) == [0, 1, 0]
+
+    def test_empty(self):
+        assert dedupe_consecutive([]) == []

@@ -1,0 +1,68 @@
+"""Unit tests for the Table-2 system parameters."""
+
+import pytest
+
+from repro.errors import BroadcastError
+from repro.broadcast.params import PACKET_CAPACITIES, SystemParameters
+
+
+class TestDefaults:
+    def test_table2_defaults(self):
+        p = SystemParameters()
+        assert p.bid_size == 2
+        assert p.coordinate_size == 4
+        assert p.data_instance_size == 1024
+
+    def test_capacity_sweep_range(self):
+        assert PACKET_CAPACITIES[0] == 64
+        assert PACKET_CAPACITIES[-1] == 2048
+
+
+class TestPerIndexParameters:
+    def test_dtree(self):
+        p = SystemParameters.for_index("dtree", 256)
+        assert (p.header_size, p.pointer_size) == (2, 4)
+
+    def test_trian_trap_have_no_header(self):
+        for kind in ("trian", "trap"):
+            p = SystemParameters.for_index(kind, 256)
+            assert (p.header_size, p.pointer_size) == (0, 4)
+
+    def test_rstar_short_pointers(self):
+        p = SystemParameters.for_index("rstar", 256)
+        assert (p.header_size, p.pointer_size) == (0, 2)
+
+    def test_unknown_kind(self):
+        with pytest.raises(BroadcastError):
+            SystemParameters.for_index("btree", 256)
+
+
+class TestDerived:
+    def test_scalar_size_is_half_coordinate(self):
+        assert SystemParameters().scalar_size == 2
+
+    def test_data_packets_per_instance(self):
+        assert SystemParameters(packet_capacity=256).data_packets_per_instance == 4
+        assert SystemParameters(packet_capacity=1024).data_packets_per_instance == 1
+        assert SystemParameters(packet_capacity=2048).data_packets_per_instance == 1
+        assert SystemParameters(packet_capacity=100).data_packets_per_instance == 11
+
+    def test_with_capacity(self):
+        p = SystemParameters.for_index("dtree", 64).with_capacity(512)
+        assert p.packet_capacity == 512
+        assert p.header_size == 2  # other fields preserved
+
+
+class TestValidation:
+    def test_nonpositive_sizes_rejected(self):
+        with pytest.raises(BroadcastError):
+            SystemParameters(bid_size=0)
+        with pytest.raises(BroadcastError):
+            SystemParameters(packet_capacity=-1)
+
+    def test_header_may_be_zero(self):
+        assert SystemParameters(header_size=0).header_size == 0
+
+    def test_tiny_packet_rejected(self):
+        with pytest.raises(BroadcastError):
+            SystemParameters(packet_capacity=4)

@@ -1,0 +1,107 @@
+"""Unit tests for the (1, m) broadcast schedule."""
+
+import math
+
+import pytest
+
+from repro.errors import BroadcastError
+from repro.broadcast.params import SystemParameters
+from repro.broadcast.schedule import (
+    BroadcastSchedule,
+    expected_latency_formula,
+    optimal_m,
+)
+
+PARAMS_1K = SystemParameters(packet_capacity=1024)  # 1 packet per bucket
+
+
+class TestOptimalM:
+    def test_matches_sqrt_rule(self):
+        # m* = sqrt(D / I); for D=100, I=4 -> m*=5.
+        assert optimal_m(4, 100) == 5
+
+    def test_no_index_is_m1(self):
+        assert optimal_m(0, 100) == 1
+
+    def test_huge_index_prefers_m1(self):
+        assert optimal_m(1000, 10) == 1
+
+    def test_integer_neighbourhood_is_optimal(self):
+        for index_p, data_p in ((3, 70), (7, 1000), (11, 137)):
+            best = optimal_m(index_p, data_p)
+            best_latency = expected_latency_formula(index_p, data_p, best)
+            for m in range(1, 60):
+                assert best_latency <= expected_latency_formula(
+                    index_p, data_p, m
+                ) + 1e-9
+
+    def test_no_data_rejected(self):
+        with pytest.raises(BroadcastError):
+            optimal_m(4, 0)
+
+
+class TestScheduleTimeline:
+    def test_cycle_length(self):
+        sched = BroadcastSchedule(
+            index_packet_count=4, region_ids=list(range(10)), params=PARAMS_1K, m=2
+        )
+        # 2 segments x (4 index + 5 buckets) = 18 packets.
+        assert sched.cycle_length == 18
+        assert sched.index_overhead_packets == 8
+
+    def test_every_bucket_scheduled_once(self):
+        sched = BroadcastSchedule(
+            index_packet_count=3, region_ids=list(range(7)), params=PARAMS_1K, m=3
+        )
+        assert sorted(sched.bucket_position) == list(range(7))
+        positions = sorted(sched.bucket_position.values())
+        assert len(set(positions)) == 7
+
+    def test_m_capped_by_bucket_count(self):
+        sched = BroadcastSchedule(
+            index_packet_count=1, region_ids=[0, 1], params=PARAMS_1K, m=10
+        )
+        assert sched.m == 2
+
+    def test_next_index_start_same_cycle(self):
+        sched = BroadcastSchedule(
+            index_packet_count=4, region_ids=list(range(10)), params=PARAMS_1K, m=2
+        )
+        # Segments start at 0 and 9.
+        assert sched.index_segment_starts == [0, 9]
+        assert sched.next_index_start(0.5) == 9
+        assert sched.next_index_start(9.0) == 9
+
+    def test_next_index_start_wraps(self):
+        sched = BroadcastSchedule(
+            index_packet_count=4, region_ids=list(range(10)), params=PARAMS_1K, m=2
+        )
+        assert sched.next_index_start(10.0) == 18  # next cycle's first segment
+
+    def test_next_bucket_arrival_wraps(self):
+        sched = BroadcastSchedule(
+            index_packet_count=4, region_ids=list(range(10)), params=PARAMS_1K, m=1
+        )
+        pos = sched.bucket_position[0]
+        assert sched.next_bucket_arrival(0, 0.0) == pos
+        assert sched.next_bucket_arrival(0, pos + 1) == pos + sched.cycle_length
+
+    def test_unknown_region(self):
+        sched = BroadcastSchedule(
+            index_packet_count=1, region_ids=[0, 1], params=PARAMS_1K
+        )
+        with pytest.raises(BroadcastError):
+            sched.next_bucket_arrival(42, 0.0)
+
+    def test_multi_packet_buckets(self):
+        params = SystemParameters(packet_capacity=256)  # 4 packets per bucket
+        sched = BroadcastSchedule(
+            index_packet_count=2, region_ids=[0, 1, 2], params=params, m=1
+        )
+        assert sched.bucket_packets == 4
+        assert sched.data_packet_count == 12
+        assert sched.cycle_length == 14
+
+    def test_empty_regions_rejected(self):
+        with pytest.raises(BroadcastError):
+            BroadcastSchedule(1, [], PARAMS_1K)

@@ -1,0 +1,71 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.charts import render_chart, render_figure_charts
+from repro.experiments.figures import FigureResult
+
+
+class TestRenderChart:
+    CAPS = (64, 256, 1024)
+
+    def test_contains_glyphs_and_axes(self):
+        text = render_chart(
+            "[X]", self.CAPS, {"dtree": [1.0, 2.0, 3.0], "trap": [3.0, 2.0, 1.0]}
+        )
+        assert "D" in text and "T" in text
+        assert "64" in text and "1024" in text
+        assert "D=dtree" in text and "T=trap" in text
+
+    def test_monotone_series_paints_monotone_rows(self):
+        text = render_chart("[X]", self.CAPS, {"dtree": [1.0, 2.0, 3.0]})
+        lines = [l for l in text.splitlines() if "|" in l]
+        cols = []
+        for r, line in enumerate(lines):
+            body = line.split("|", 1)[1]
+            for c, ch in enumerate(body):
+                if ch == "D":
+                    cols.append((c, r))
+        cols.sort()
+        rows = [r for _, r in cols]
+        # Larger values sit on earlier (higher) lines.
+        assert rows[0] > rows[1] > rows[2]
+
+    def test_constant_series_does_not_crash(self):
+        text = render_chart("[X]", self.CAPS, {"dtree": [2.0, 2.0, 2.0]})
+        assert "D" in text
+
+    def test_log_scale(self):
+        text = render_chart(
+            "[X]", self.CAPS, {"trap": [1.0, 10.0, 100.0]}, log_y=True
+        )
+        assert "T" in text
+
+    def test_unknown_series_gets_fallback_glyph(self):
+        text = render_chart("[X]", self.CAPS, {"mystery": [1.0, 2.0, 3.0]})
+        assert "a=mystery" in text
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            render_chart("[X]", self.CAPS, {})
+        with pytest.raises(ReproError):
+            render_chart("[X]", self.CAPS, {"dtree": [1.0]})
+        with pytest.raises(ReproError):
+            render_chart("[X]", self.CAPS, {"dtree": [1, 2, 3]}, height=1)
+
+
+class TestRenderFigureCharts:
+    def test_stacks_datasets(self):
+        result = FigureResult(
+            "Figure 10",
+            "normalized access latency",
+            (64, 256),
+            {
+                "UNIFORM": {"dtree": [1.5, 1.4], "trap": [2.8, 3.7]},
+                "PARK": {"dtree": [1.5, 1.5], "trap": [2.9, 3.7]},
+            },
+        )
+        text = render_figure_charts(result)
+        assert "Figure 10" in text
+        assert "[UNIFORM]" in text and "[PARK]" in text

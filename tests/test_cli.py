@@ -1,0 +1,48 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_requires_target(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_target(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+
+    def test_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            main(["figure10", "--scale", "huge"])
+
+    def test_figure11_quick_runs(self, capsys, monkeypatch):
+        # Shrink the quick config further so the CLI test stays fast.
+        from repro.experiments import config as config_mod
+        from repro.datasets.catalog import uniform_dataset
+
+        def tiny_quick(cls=None, queries=60, seed=7):
+            cfg = config_mod.ExperimentConfig(
+                datasets={"UNIFORM": uniform_dataset(n=30, seed=42)},
+                queries=60,
+                seed=7,
+            )
+            cfg.packet_capacities = (128, 512)
+            return cfg
+
+        monkeypatch.setattr(
+            config_mod.ExperimentConfig, "quick", classmethod(
+                lambda cls, queries=60, seed=7: tiny_quick()
+            )
+        )
+        import repro.cli as cli_mod
+
+        monkeypatch.setattr(
+            cli_mod.ExperimentConfig, "quick", config_mod.ExperimentConfig.quick
+        )
+        assert main(["figure11", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 11" in out
+        assert "dtree" in out

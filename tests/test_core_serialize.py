@@ -1,0 +1,123 @@
+"""Tests for the bit-exact D-tree serialization (wire format)."""
+
+import pytest
+
+from repro.broadcast.params import SystemParameters
+from repro.core.dtree import DTree
+from repro.core.paging import PagedDTree
+from repro.core.serialize import AxisCodec, SerializedDTree
+from repro.errors import PagingError
+from repro.geometry.rect import Rect
+from repro.tessellation.grid import grid_subdivision
+
+from tests.conftest import random_points_in
+
+
+def params_for(cap):
+    return SystemParameters.for_index("dtree", cap)
+
+
+class TestAxisCodec:
+    def test_roundtrip_error_bounded(self):
+        codec = AxisCodec(Rect(0, 0, 1, 1))
+        for v in (0.0, 0.123456, 0.5, 0.999, 1.0):
+            assert abs(codec.decode_x(codec.encode_x(v)) - v) <= codec.quantisation_step
+            assert abs(codec.decode_y(codec.encode_y(v)) - v) <= codec.quantisation_step
+
+    def test_extremes(self):
+        codec = AxisCodec(Rect(0, 0, 1, 1))
+        assert codec.encode_x(0.0) == 0
+        assert codec.encode_x(1.0) == 0xFFFF
+        assert codec.encode_x(-5.0) == 0       # clamped
+        assert codec.encode_x(7.0) == 0xFFFF   # clamped
+
+    def test_non_unit_area(self):
+        codec = AxisCodec(Rect(10, 20, 14, 22))
+        assert codec.decode_x(codec.encode_x(12.0)) == pytest.approx(12.0, abs=1e-3)
+        assert codec.decode_y(codec.encode_y(21.5)) == pytest.approx(21.5, abs=1e-3)
+
+
+class TestWireFormat:
+    def test_packets_are_exact_capacity(self, voronoi60):
+        tree = DTree.build(voronoi60)
+        serialized = SerializedDTree(tree, params_for(256))
+        assert all(len(p) == 256 for p in serialized.packets)
+
+    def test_packet_count_matches_layout(self, voronoi60):
+        tree = DTree.build(voronoi60)
+        for cap in (64, 256, 2048):
+            serialized = SerializedDTree(tree, params_for(cap))
+            assert len(serialized.packets) == len(serialized.layout.packets)
+
+    def test_rejects_non_table2_parameters(self, voronoi60):
+        tree = DTree.build(voronoi60)
+        bad = SystemParameters(
+            bid_size=2, header_size=0, pointer_size=4, packet_capacity=256
+        )
+        with pytest.raises(PagingError):
+            SerializedDTree(tree, bad)
+
+    def test_break_accounting_grows_nodes(self, voronoi60):
+        tree = DTree.build(voronoi60)
+        exact = PagedDTree(tree, params_for(256), count_polyline_breaks=True)
+        model = PagedDTree(tree, params_for(256), count_polyline_breaks=False)
+        exact_total = sum(exact.node_size(n) for n in tree.iter_nodes())
+        model_total = sum(model.node_size(n) for n in tree.iter_nodes())
+        assert exact_total >= model_total
+
+
+class TestDecodedQueries:
+    @pytest.mark.parametrize("cap", [64, 128, 256, 2048])
+    def test_decoder_matches_oracle_within_quantisation(self, voronoi60, cap):
+        tree = DTree.build(voronoi60)
+        serialized = SerializedDTree(tree, params_for(cap))
+        step = serialized.codec.quantisation_step
+        mismatches = 0
+        for p in random_points_in(voronoi60, 400, seed=cap):
+            got = serialized.trace(p).region_id
+            expected = voronoi60.locate(p)
+            if got != expected:
+                # Only near-boundary points may flip, by at most the
+                # 16-bit quantisation step (plus slack for slanted edges).
+                region = voronoi60.region(got).polygon
+                assert region.boundary_distance(p) <= 8 * step
+                mismatches += 1
+        assert mismatches <= 8  # quantisation flips are rare
+
+    def test_decoder_matches_in_memory_trace_on_grid(self, grid4x4):
+        # Grid coordinates are exactly representable in 16-bit fixed
+        # point, so the decoder must agree everywhere.
+        tree = DTree.build(grid4x4)
+        serialized = SerializedDTree(tree, params_for(128))
+        paged = PagedDTree(tree, params_for(128))
+        for p in random_points_in(grid4x4, 400, seed=5):
+            assert serialized.trace(p).region_id == paged.trace(p).region_id
+
+    @pytest.mark.parametrize("cap", [64, 256])
+    def test_decoder_trace_forward_only(self, voronoi60, cap):
+        tree = DTree.build(voronoi60)
+        serialized = SerializedDTree(tree, params_for(cap))
+        for p in random_points_in(voronoi60, 200, seed=cap + 3):
+            accessed = serialized.trace(p).packets_accessed
+            assert all(b >= a for a, b in zip(accessed, accessed[1:]))
+
+    def test_decoder_tuning_close_to_model(self, voronoi60):
+        # The decoder's packet accesses mirror the paged model's (break
+        # markers may add the odd extra packet).
+        tree = DTree.build(voronoi60)
+        cap = 128
+        serialized = SerializedDTree(tree, params_for(cap))
+        model = PagedDTree(tree, params_for(cap))
+        points = random_points_in(voronoi60, 300, seed=11)
+        wire = sum(serialized.trace(p).tuning_time for p in points) / len(points)
+        modeled = sum(model.trace(p).tuning_time for p in points) / len(points)
+        assert wire == pytest.approx(modeled, rel=0.25)
+
+    def test_two_region_subdivision(self):
+        sub = grid_subdivision(1, 2)
+        tree = DTree.build(sub)
+        serialized = SerializedDTree(tree, params_for(64))
+        from repro.geometry.point import Point
+
+        assert serialized.trace(Point(0.2, 0.5)).region_id == 0
+        assert serialized.trace(Point(0.8, 0.5)).region_id == 1

@@ -1,0 +1,55 @@
+"""Tests for CSV export of figure results."""
+
+from repro.experiments.figures import FigureResult
+
+
+def make_result():
+    return FigureResult(
+        "Figure 12",
+        "index tuning time (packets)",
+        (64, 256),
+        {
+            "UNIFORM": {"dtree": [10.2, 6.1], "trap": [10.3, 6.2]},
+            "PARK": {"dtree": [11.2, 6.5], "trap": [10.2, 6.2]},
+        },
+    )
+
+
+class TestToCsv:
+    def test_header_and_row_count(self):
+        csv = make_result().to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "figure,metric,dataset,index,packet_capacity,value"
+        assert len(lines) == 1 + 2 * 2 * 2  # datasets x indexes x capacities
+
+    def test_values_round_trip(self):
+        csv = make_result().to_csv()
+        row = [l for l in csv.splitlines() if l.startswith("Figure 12,")][0]
+        parts = row.split(",")
+        assert parts[2] == "UNIFORM"
+        assert parts[3] == "dtree"
+        assert parts[4] == "64"
+        assert float(parts[5]) == 10.2
+
+    def test_cli_writes_csv(self, tmp_path, monkeypatch):
+        from repro.cli import main
+        from repro.experiments import config as config_mod
+        from repro.datasets.catalog import uniform_dataset
+
+        def tiny_quick(cls, queries=60, seed=7):
+            cfg = config_mod.ExperimentConfig(
+                datasets={"UNIFORM": uniform_dataset(n=25, seed=42)},
+                queries=50,
+                seed=7,
+            )
+            cfg.packet_capacities = (128, 512)
+            return cfg
+
+        monkeypatch.setattr(
+            config_mod.ExperimentConfig, "quick", classmethod(tiny_quick)
+        )
+        out_dir = tmp_path / "csv"
+        assert main(["figure11", "--scale", "quick", "--csv-dir", str(out_dir)]) == 0
+        written = (out_dir / "figure11.csv").read_text()
+        assert written.startswith("figure,metric,dataset,index")
+        assert "dtree" in written

@@ -1,0 +1,102 @@
+"""Unit tests for dataset generators and the §5 catalog."""
+
+import pytest
+
+from repro.errors import ReproError, SubdivisionError
+from repro.datasets.catalog import (
+    DATASET_NAMES,
+    SERVICE_AREA,
+    dataset_by_name,
+    hospital_dataset,
+    park_dataset,
+    uniform_dataset,
+)
+from repro.datasets.generators import clustered_points, uniform_points
+
+
+class TestUniformPoints:
+    def test_count_and_bounds(self):
+        pts = uniform_points(50, seed=1)
+        assert len(pts) == 50
+        assert all(SERVICE_AREA.contains_point(p) for p in pts)
+
+    def test_deterministic(self):
+        assert uniform_points(20, seed=3) == uniform_points(20, seed=3)
+
+    def test_seeds_differ(self):
+        assert uniform_points(20, seed=3) != uniform_points(20, seed=4)
+
+    def test_minimum_separation(self):
+        pts = uniform_points(100, seed=2)
+        min_d2 = min(
+            a.squared_distance_to(b)
+            for i, a in enumerate(pts)
+            for b in pts[i + 1 :]
+        )
+        assert min_d2 > 0
+
+
+class TestClusteredPoints:
+    def test_count_and_bounds(self):
+        pts = clustered_points(
+            60, seed=1, cluster_centers=[(0.3, 0.3)], cluster_spread=0.05
+        )
+        assert len(pts) == 60
+        assert all(SERVICE_AREA.contains_point(p) for p in pts)
+
+    def test_clustering_actually_clusters(self):
+        pts = clustered_points(
+            100,
+            seed=5,
+            cluster_centers=[(0.5, 0.5)],
+            cluster_spread=0.03,
+            noise_fraction=0.0,
+        )
+        center_dists = [((p.x - 0.5) ** 2 + (p.y - 0.5) ** 2) ** 0.5 for p in pts]
+        assert sorted(center_dists)[len(pts) // 2] < 0.1  # median near center
+
+    def test_needs_centers(self):
+        with pytest.raises(SubdivisionError):
+            clustered_points(10, seed=0, cluster_centers=[], cluster_spread=0.1)
+
+
+class TestCatalog:
+    def test_paper_cardinalities(self):
+        assert uniform_dataset().n == 1000
+        assert hospital_dataset().n == 185
+        assert park_dataset().n == 1102
+
+    def test_by_name(self):
+        for name in DATASET_NAMES:
+            ds = dataset_by_name(name)
+            assert ds.name == name
+
+    def test_by_name_case_insensitive(self):
+        assert dataset_by_name("uniform").name == "UNIFORM"
+
+    def test_unknown_name(self):
+        with pytest.raises(ReproError):
+            dataset_by_name("CITIES")
+
+    def test_subdivision_is_lazy_and_cached(self):
+        ds = uniform_dataset(n=30, seed=2)
+        assert ds._subdivision is None
+        sub = ds.subdivision
+        assert ds.subdivision is sub  # cached
+        assert len(sub) == 30
+
+    def test_small_dataset_subdivision_valid(self):
+        ds = hospital_dataset(n=30, seed=1)
+        ds.subdivision.validate(samples=300)
+
+    def test_region_skew_of_clustered_datasets(self):
+        # The property the HOSPITAL/PARK stand-ins must reproduce:
+        # clustered sites => highly skewed Voronoi region areas.
+        uni = uniform_dataset(n=60, seed=2).subdivision
+        clu = hospital_dataset(n=60, seed=2).subdivision
+
+        def skew(sub):
+            areas = sorted(r.polygon.area for r in sub.regions)
+            return areas[-1] / areas[0]
+
+        assert skew(clu) > 2 * skew(uni)

@@ -1,0 +1,55 @@
+"""The error hierarchy contract: one root, distinct branches."""
+
+import pytest
+
+from repro.errors import (
+    BroadcastError,
+    GeometryError,
+    IndexBuildError,
+    PagingError,
+    QueryError,
+    ReproError,
+    SubdivisionError,
+)
+
+ALL_ERRORS = [
+    GeometryError,
+    SubdivisionError,
+    IndexBuildError,
+    PagingError,
+    QueryError,
+    BroadcastError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", ALL_ERRORS)
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_branches_are_distinct(self):
+        for a in ALL_ERRORS:
+            for b in ALL_ERRORS:
+                if a is not b:
+                    assert not issubclass(a, b)
+
+    def test_single_catch_covers_library_failures(self):
+        from repro.geometry.point import Point
+        from repro.geometry.segment import Segment
+        from repro.tessellation.grid import grid_subdivision
+
+        caught = 0
+        try:
+            Segment(Point(0, 0), Point(0, 0))
+        except ReproError:
+            caught += 1
+        try:
+            grid_subdivision(0, 0)
+        except ReproError:
+            caught += 1
+        try:
+            grid_subdivision(2, 2).locate(Point(9, 9))
+        except ReproError:
+            caught += 1
+        assert caught == 3

@@ -1,0 +1,32 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; this keeps them from rotting.
+Each runs in a subprocess exactly as a user would invoke it.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda s: s.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_discovered():
+    names = {s.name for s in SCRIPTS}
+    assert "quickstart.py" in names
+    assert len(names) >= 7

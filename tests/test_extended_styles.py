@@ -1,0 +1,99 @@
+"""Tests for the complement-extent style extension (described="second")."""
+
+import pytest
+
+from repro.broadcast.params import SystemParameters
+from repro.core.dtree import DTree
+from repro.core.paging import PagedDTree
+from repro.core.partition import (
+    PartitionStyle,
+    best_partition,
+    enumerate_styles,
+    evaluate_style,
+)
+from repro.core.serialize import SerializedDTree
+from repro.errors import IndexBuildError
+
+from tests.conftest import random_points_in
+
+
+class TestStyleEnumeration:
+    def test_extended_doubles_the_set(self):
+        assert len(enumerate_styles(8, extended=True)) == 8
+        assert len(enumerate_styles(7, extended=True)) == 16
+
+    def test_default_is_paper_styles_only(self):
+        styles = enumerate_styles(8)
+        assert all(s.described == "first" for s in styles)
+
+    def test_invalid_described(self):
+        with pytest.raises(IndexBuildError):
+            PartitionStyle("y", "far", 2, described="third")
+
+
+class TestComplementExtentRouting:
+    @pytest.mark.parametrize("style_args", [
+        ("y", "far"), ("y", "near"), ("x", "far"), ("x", "near"),
+    ])
+    def test_second_extent_routes_like_first(self, voronoi60, style_args):
+        dim, key = style_args
+        n = len(voronoi60)
+        first = evaluate_style(
+            voronoi60, voronoi60.region_ids, PartitionStyle(dim, key, n // 2)
+        )
+        second = evaluate_style(
+            voronoi60,
+            voronoi60.region_ids,
+            PartitionStyle(dim, key, n // 2, described="second"),
+        )
+        # Same split, possibly different stored boundary.
+        assert first.first_ids == second.first_ids
+        for p in random_points_in(voronoi60, 400, seed=31):
+            assert first.side_of(p) == second.side_of(p)
+
+    def test_best_partition_never_larger_with_extension(self, voronoi60):
+        base = best_partition(voronoi60, voronoi60.region_ids)
+        ext = best_partition(
+            voronoi60, voronoi60.region_ids, extended_styles=True
+        )
+        assert ext.size <= base.size
+
+
+class TestExtendedTree:
+    def test_total_coordinates_never_larger(self, voronoi60, clustered40):
+        for sub in (voronoi60, clustered40):
+            base = DTree.build(sub)
+            ext = DTree.build(sub, extended_styles=True)
+            assert (
+                ext.total_partition_coordinates()
+                <= base.total_partition_coordinates()
+            )
+
+    def test_extended_tree_matches_oracle(self, voronoi60, clustered40):
+        for sub in (voronoi60, clustered40):
+            tree = DTree.build(sub, extended_styles=True)
+            for p in random_points_in(sub, 500, seed=17):
+                assert tree.locate(p) == sub.locate(p)
+
+    def test_paged_extended_tree_matches_oracle(self, voronoi60):
+        tree = DTree.build(voronoi60, extended_styles=True)
+        for cap in (64, 256):
+            paged = PagedDTree(
+                tree, SystemParameters.for_index("dtree", cap)
+            )
+            for p in random_points_in(voronoi60, 300, seed=cap):
+                assert paged.trace(p).region_id == voronoi60.locate(p)
+
+    def test_serialized_extended_tree_round_trips(self, voronoi60):
+        tree = DTree.build(voronoi60, extended_styles=True)
+        serialized = SerializedDTree(
+            tree, SystemParameters.for_index("dtree", 128)
+        )
+        step = serialized.codec.quantisation_step
+        flips = 0
+        for p in random_points_in(voronoi60, 300, seed=41):
+            got = serialized.trace(p).region_id
+            if got != voronoi60.locate(p):
+                assert voronoi60.region(got).polygon.boundary_distance(p) <= 8 * step
+                flips += 1
+        assert flips <= 5

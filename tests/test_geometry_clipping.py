@@ -1,0 +1,64 @@
+"""Unit tests for repro.geometry.clipping (Sutherland-Hodgman)."""
+
+import pytest
+
+from repro.geometry.clipping import clip_polygon_halfplane, clip_polygon_rect
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+SQUARE = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+
+
+def ring_area(ring):
+    total = 0.0
+    for i in range(len(ring)):
+        total += ring[i].cross(ring[(i + 1) % len(ring)])
+    return abs(total) / 2.0
+
+
+class TestHalfplane:
+    def test_no_clip_when_fully_inside(self):
+        out = clip_polygon_halfplane(SQUARE, 1, 0, 1)  # x >= -1
+        assert ring_area(out) == pytest.approx(4.0)
+
+    def test_fully_outside_is_empty(self):
+        out = clip_polygon_halfplane(SQUARE, 1, 0, -5)  # x >= 5
+        assert out == []
+
+    def test_half_cut(self):
+        out = clip_polygon_halfplane(SQUARE, 1, 0, -1)  # x >= 1
+        assert ring_area(out) == pytest.approx(2.0)
+        assert all(p.x >= 1 - 1e-9 for p in out)
+
+    def test_diagonal_cut(self):
+        out = clip_polygon_halfplane(SQUARE, 1, 1, -2)  # x + y >= 2
+        assert ring_area(out) == pytest.approx(2.0)
+
+    def test_empty_input(self):
+        assert clip_polygon_halfplane([], 1, 0, 0) == []
+
+
+class TestRectClip:
+    def test_identity_clip(self):
+        poly = clip_polygon_rect(SQUARE, Rect(0, 0, 2, 2))
+        assert poly is not None
+        assert poly.area == pytest.approx(4.0)
+
+    def test_corner_overlap(self):
+        poly = clip_polygon_rect(SQUARE, Rect(1, 1, 3, 3))
+        assert poly is not None
+        assert poly.area == pytest.approx(1.0)
+
+    def test_disjoint_returns_none(self):
+        assert clip_polygon_rect(SQUARE, Rect(5, 5, 6, 6)) is None
+
+    def test_degenerate_sliver_returns_none(self):
+        # Clip region touches only the square's edge: zero-area result.
+        assert clip_polygon_rect(SQUARE, Rect(2, 0, 3, 2)) is None
+
+    def test_voronoi_cell_use_case(self):
+        # An unbounded-ish big cell clipped to the unit service area.
+        big = [Point(-10, -10), Point(10, -10), Point(10, 10), Point(-10, 10)]
+        poly = clip_polygon_rect(big, Rect(0, 0, 1, 1))
+        assert poly is not None
+        assert poly.area == pytest.approx(1.0)

@@ -1,0 +1,76 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point
+
+
+class TestConstruction:
+    def test_coordinates_are_floats(self):
+        p = Point(1, 2)
+        assert isinstance(p.x, float)
+        assert isinstance(p.y, float)
+
+    def test_immutability(self):
+        p = Point(1.0, 2.0)
+        with pytest.raises(AttributeError):
+            p.x = 5.0
+
+    def test_repr_roundtrip_values(self):
+        assert "Point(1.5, -2)" == repr(Point(1.5, -2.0))
+
+
+class TestEqualityAndOrdering:
+    def test_equality(self):
+        assert Point(1, 2) == Point(1.0, 2.0)
+        assert Point(1, 2) != Point(2, 1)
+
+    def test_equality_with_other_types(self):
+        assert Point(1, 2) != (1, 2)
+
+    def test_hash_consistency(self):
+        assert hash(Point(1, 2)) == hash(Point(1.0, 2.0))
+        assert len({Point(0, 0), Point(0.0, 0.0), Point(0, 1)}) == 2
+
+    def test_lexicographic_order(self):
+        assert Point(0, 5) < Point(1, 0)
+        assert Point(1, 0) < Point(1, 1)
+        assert Point(1, 1) <= Point(1, 1)
+
+    def test_iteration_and_tuple(self):
+        x, y = Point(3, 4)
+        assert (x, y) == (3.0, 4.0)
+        assert Point(3, 4).as_tuple() == (3.0, 4.0)
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+
+    def test_scalar_multiplication(self):
+        assert Point(1, -2) * 3 == Point(3, -6)
+        assert 3 * Point(1, -2) == Point(3, -6)
+
+
+class TestGeometry:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_squared_distance_matches_distance(self):
+        a, b = Point(1.2, -0.7), Point(-2.3, 4.1)
+        assert a.squared_distance_to(b) == pytest.approx(a.distance_to(b) ** 2)
+
+    def test_cross_sign_encodes_orientation(self):
+        # (1,0) x (0,1) = +1 (counter-clockwise quarter turn).
+        assert Point(1, 0).cross(Point(0, 1)) == pytest.approx(1.0)
+        assert Point(0, 1).cross(Point(1, 0)) == pytest.approx(-1.0)
+
+    def test_dot(self):
+        assert Point(1, 2).dot(Point(3, 4)) == pytest.approx(11.0)
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(0.3, 0.9), Point(-1.4, 2.2)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))

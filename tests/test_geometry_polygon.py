@@ -1,0 +1,109 @@
+"""Unit tests for repro.geometry.polygon (the data-region shape)."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+SQUARE = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)]
+L_SHAPE = [
+    Point(0, 0),
+    Point(2, 0),
+    Point(2, 1),
+    Point(1, 1),
+    Point(1, 2),
+    Point(0, 2),
+]
+
+
+class TestConstruction:
+    def test_needs_three_vertices(self):
+        with pytest.raises(GeometryError):
+            Polygon([Point(0, 0), Point(1, 1)])
+
+    def test_zero_area_rejected(self):
+        with pytest.raises(GeometryError):
+            Polygon([Point(0, 0), Point(1, 1), Point(2, 2)])
+
+    def test_closing_vertex_dropped(self):
+        p = Polygon(SQUARE + [Point(0, 0)])
+        assert len(p) == 4
+
+    def test_consecutive_duplicates_dropped(self):
+        p = Polygon([Point(0, 0), Point(0, 0), Point(1, 0), Point(1, 1)])
+        assert len(p) == 3
+
+    def test_clockwise_input_normalised_to_ccw(self):
+        cw = Polygon(list(reversed(SQUARE)))
+        ccw = Polygon(SQUARE)
+        assert cw == ccw
+
+    def test_rotation_invariant_equality_and_hash(self):
+        a = Polygon(SQUARE)
+        b = Polygon(SQUARE[2:] + SQUARE[:2])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestMeasures:
+    def test_square_area(self):
+        assert Polygon(SQUARE).area == pytest.approx(1.0)
+
+    def test_l_shape_area(self):
+        assert Polygon(L_SHAPE).area == pytest.approx(3.0)
+
+    def test_bbox(self):
+        bb = Polygon(L_SHAPE).bbox
+        assert (bb.min_x, bb.min_y, bb.max_x, bb.max_y) == (0, 0, 2, 2)
+
+    def test_centroid_of_square(self):
+        assert Polygon(SQUARE).centroid == Point(0.5, 0.5)
+
+    def test_paper_sort_keys(self):
+        p = Polygon(L_SHAPE)
+        assert p.leftmost_x == 0
+        assert p.rightmost_x == 2
+        assert p.lowest_y == 0
+        assert p.uppermost_y == 2
+
+
+class TestStructure:
+    def test_edges_are_ccw_ring(self):
+        edges = Polygon(SQUARE).edges()
+        assert len(edges) == 4
+        # consecutive edges share endpoints
+        for e1, e2 in zip(edges, edges[1:] + edges[:1]):
+            assert e1.b == e2.a
+
+    def test_directed_edges_interior_left(self):
+        # For a CCW square the bottom edge runs left-to-right.
+        directed = Polygon(SQUARE).directed_edges()
+        bottom = [e for e in directed if e[0].y == 0 and e[1].y == 0][0]
+        assert bottom[0].x < bottom[1].x
+
+
+class TestContainment:
+    def test_interior(self):
+        assert Polygon(SQUARE).contains_point(Point(0.5, 0.5))
+
+    def test_exterior(self):
+        assert not Polygon(SQUARE).contains_point(Point(1.5, 0.5))
+
+    def test_boundary_inclusive_by_default(self):
+        assert Polygon(SQUARE).contains_point(Point(1, 0.5))
+        assert Polygon(SQUARE).contains_point(Point(0, 0))
+
+    def test_boundary_exclusive(self):
+        p = Polygon(SQUARE)
+        assert not p.contains_point(Point(1, 0.5), include_boundary=False)
+        assert p.contains_point(Point(0.5, 0.5), include_boundary=False)
+
+    def test_concave_notch(self):
+        p = Polygon(L_SHAPE)
+        assert p.contains_point(Point(0.5, 1.5))       # in the vertical arm
+        assert not p.contains_point(Point(1.5, 1.5))   # in the notch
+
+    def test_convexity(self):
+        assert Polygon(SQUARE).is_convex()
+        assert not Polygon(L_SHAPE).is_convex()

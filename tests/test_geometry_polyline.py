@@ -1,0 +1,100 @@
+"""Unit tests for repro.geometry.polyline (chaining is the D-tree's
+partition-assembly primitive)."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.polyline import (
+    Polyline,
+    chain_segments,
+    total_coordinate_count,
+)
+from repro.geometry.segment import Segment
+
+
+def seg(ax, ay, bx, by):
+    return Segment(Point(ax, ay), Point(bx, by))
+
+
+class TestPolyline:
+    def test_needs_two_vertices(self):
+        with pytest.raises(GeometryError):
+            Polyline([Point(0, 0)])
+
+    def test_coordinate_count_is_vertex_count(self):
+        pl = Polyline([Point(0, 0), Point(1, 0), Point(1, 1)])
+        assert pl.coordinate_count == 3
+
+    def test_equality_is_direction_independent(self):
+        a = Polyline([Point(0, 0), Point(1, 0), Point(1, 1)])
+        b = Polyline([Point(1, 1), Point(1, 0), Point(0, 0)])
+        assert a == b
+
+    def test_segments(self):
+        pl = Polyline([Point(0, 0), Point(1, 0), Point(1, 1)])
+        assert pl.segments() == [seg(0, 0, 1, 0), seg(1, 0, 1, 1)]
+
+    def test_is_closed(self):
+        ring = Polyline([Point(0, 0), Point(1, 0), Point(0, 1), Point(0, 0)])
+        assert ring.is_closed
+        assert not Polyline([Point(0, 0), Point(1, 0)]).is_closed
+
+    def test_extent_accessors(self):
+        pl = Polyline([Point(0, 2), Point(3, -1)])
+        assert (pl.min_x, pl.max_x, pl.min_y, pl.max_y) == (0, 3, -1, 2)
+
+
+class TestChaining:
+    def test_empty(self):
+        assert chain_segments([]) == []
+
+    def test_single_segment(self):
+        [pl] = chain_segments([seg(0, 0, 1, 0)])
+        assert pl.coordinate_count == 2
+
+    def test_chains_a_path(self):
+        pls = chain_segments(
+            [seg(1, 0, 2, 0), seg(0, 0, 1, 0), seg(2, 0, 3, 1)]
+        )
+        assert len(pls) == 1
+        assert pls[0].coordinate_count == 4
+
+    def test_chains_a_closed_ring(self):
+        ring = [seg(0, 0, 1, 0), seg(1, 0, 1, 1), seg(1, 1, 0, 1), seg(0, 1, 0, 0)]
+        pls = chain_segments(ring)
+        assert len(pls) == 1
+        assert pls[0].is_closed
+        assert pls[0].coordinate_count == 5  # closing vertex stored once more
+
+    def test_disconnected_components(self):
+        pls = chain_segments([seg(0, 0, 1, 0), seg(5, 5, 6, 5)])
+        assert len(pls) == 2
+
+    def test_branch_point_splits_chains(self):
+        # Three segments meeting at (1, 0): degree 3, so no chain crosses it.
+        pls = chain_segments(
+            [seg(0, 0, 1, 0), seg(1, 0, 2, 0), seg(1, 0, 1, 1)]
+        )
+        assert len(pls) == 3
+        assert all(pl.coordinate_count == 2 for pl in pls)
+
+    def test_every_input_segment_appears_once(self):
+        segs = [seg(0, 0, 1, 0), seg(1, 0, 2, 1), seg(2, 1, 2, 2), seg(9, 9, 8, 8)]
+        pls = chain_segments(segs)
+        out = [s for pl in pls for s in pl.segments()]
+        assert sorted(s.canonical_key() for s in out) == sorted(
+            s.canonical_key() for s in segs
+        )
+
+    def test_total_coordinate_count(self):
+        pls = chain_segments([seg(0, 0, 1, 0), seg(1, 0, 2, 0), seg(5, 5, 6, 6)])
+        # One 3-vertex chain + one 2-vertex chain.
+        assert total_coordinate_count(pls) == 5
+
+    def test_chaining_compresses_vs_naive_storage(self):
+        # n chained segments cost n+1 coordinates, not 2n.
+        zig = lambda i: 0.5 * ((-1) ** i)
+        segs = [seg(i, zig(i), i + 1, zig(i + 1)) for i in range(10)]
+        pls = chain_segments(segs)
+        assert total_coordinate_count(pls) == 11

@@ -1,0 +1,141 @@
+"""Unit tests for repro.geometry.predicates."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.predicates import (
+    on_segment,
+    orientation,
+    quantize,
+    quantize_point,
+    ray_crossings,
+    segment_intersection_point,
+    segments_intersect,
+)
+
+
+class TestOrientation:
+    def test_counter_clockwise(self):
+        assert orientation(Point(0, 0), Point(1, 0), Point(0, 1)) == 1
+
+    def test_clockwise(self):
+        assert orientation(Point(0, 0), Point(0, 1), Point(1, 0)) == -1
+
+    def test_collinear(self):
+        assert orientation(Point(0, 0), Point(1, 1), Point(2, 2)) == 0
+
+    def test_collinear_within_tolerance(self):
+        assert orientation(Point(0, 0), Point(1, 0), Point(2, 1e-12)) == 0
+
+
+class TestOnSegment:
+    def test_midpoint(self):
+        assert on_segment(Point(0.5, 0.5), Point(0, 0), Point(1, 1))
+
+    def test_endpoints_inclusive(self):
+        assert on_segment(Point(0, 0), Point(0, 0), Point(1, 1))
+        assert on_segment(Point(1, 1), Point(0, 0), Point(1, 1))
+
+    def test_collinear_but_outside(self):
+        assert not on_segment(Point(2, 2), Point(0, 0), Point(1, 1))
+
+    def test_off_line(self):
+        assert not on_segment(Point(0.5, 0.6), Point(0, 0), Point(1, 1))
+
+
+class TestSegmentsIntersect:
+    def test_crossing(self):
+        assert segments_intersect(
+            Point(0, 0), Point(1, 1), Point(0, 1), Point(1, 0)
+        )
+
+    def test_disjoint(self):
+        assert not segments_intersect(
+            Point(0, 0), Point(1, 0), Point(0, 1), Point(1, 1)
+        )
+
+    def test_shared_endpoint(self):
+        assert segments_intersect(
+            Point(0, 0), Point(1, 0), Point(1, 0), Point(2, 5)
+        )
+
+    def test_t_junction(self):
+        assert segments_intersect(
+            Point(0, 0), Point(2, 0), Point(1, 0), Point(1, 1)
+        )
+
+    def test_collinear_overlap(self):
+        assert segments_intersect(
+            Point(0, 0), Point(2, 0), Point(1, 0), Point(3, 0)
+        )
+
+
+class TestIntersectionPoint:
+    def test_proper_crossing(self):
+        p = segment_intersection_point(
+            Point(0, 0), Point(1, 1), Point(0, 1), Point(1, 0)
+        )
+        assert p == Point(0.5, 0.5)
+
+    def test_parallel_returns_none(self):
+        assert (
+            segment_intersection_point(
+                Point(0, 0), Point(1, 0), Point(0, 1), Point(1, 1)
+            )
+            is None
+        )
+
+    def test_non_crossing_lines_meet_outside(self):
+        assert (
+            segment_intersection_point(
+                Point(0, 0), Point(1, 0), Point(5, -1), Point(5, 1)
+            )
+            is None
+        )
+
+
+class TestRayCrossings:
+    SQUARE = [
+        (Point(0, 0), Point(1, 0)),
+        (Point(1, 0), Point(1, 1)),
+        (Point(1, 1), Point(0, 1)),
+        (Point(0, 1), Point(0, 0)),
+    ]
+
+    def test_inside_square_rightward(self):
+        assert ray_crossings(Point(0.5, 0.5), self.SQUARE, "right") == 1
+
+    def test_outside_square_rightward(self):
+        assert ray_crossings(Point(-1, 0.5), self.SQUARE, "right") == 2
+        assert ray_crossings(Point(2, 0.5), self.SQUARE, "right") == 0
+
+    def test_inside_square_downward(self):
+        assert ray_crossings(Point(0.5, 0.5), self.SQUARE, "down") == 1
+
+    def test_outside_square_downward(self):
+        assert ray_crossings(Point(0.5, 2), self.SQUARE, "down") == 2
+        assert ray_crossings(Point(0.5, -1), self.SQUARE, "down") == 0
+
+    def test_half_open_rule_through_vertex(self):
+        # Ray through the shared vertex (1,0)/(1,1) corner heights: a ray
+        # at exactly y=0 crosses bottom-adjacent edges once, not twice.
+        diamond = [
+            (Point(1, -1), Point(2, 0)),
+            (Point(2, 0), Point(1, 1)),
+            (Point(1, 1), Point(0, 0)),
+            (Point(0, 0), Point(1, -1)),
+        ]
+        assert ray_crossings(Point(-1, 0), diamond, "right") == 2
+
+    def test_unknown_direction_raises(self):
+        with pytest.raises(ValueError):
+            ray_crossings(Point(0, 0), self.SQUARE, "up")
+
+
+class TestQuantize:
+    def test_quantize_collapses_ulp_noise(self):
+        a = 0.1 + 0.2  # 0.30000000000000004
+        assert quantize(a) == quantize(0.3)
+
+    def test_quantize_point(self):
+        assert quantize_point(Point(0.1 + 0.2, 1.0)) == (quantize(0.3), 1.0)

@@ -1,0 +1,81 @@
+"""Unit tests for repro.geometry.segment."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.segment import Segment
+
+
+class TestConstruction:
+    def test_degenerate_rejected(self):
+        with pytest.raises(GeometryError):
+            Segment(Point(1, 1), Point(1, 1))
+
+    def test_equality_is_undirected(self):
+        assert Segment(Point(0, 0), Point(1, 1)) == Segment(Point(1, 1), Point(0, 0))
+
+    def test_hash_is_undirected(self):
+        s1 = Segment(Point(0, 0), Point(1, 1))
+        s2 = Segment(Point(1, 1), Point(0, 0))
+        assert hash(s1) == hash(s2)
+        assert len({s1, s2}) == 1
+
+
+class TestMeasures:
+    def test_length(self):
+        assert Segment(Point(0, 0), Point(3, 4)).length == pytest.approx(5.0)
+
+    def test_midpoint(self):
+        assert Segment(Point(0, 0), Point(2, 4)).midpoint == Point(1, 2)
+
+    def test_extent_accessors(self):
+        s = Segment(Point(3, -1), Point(1, 5))
+        assert (s.min_x, s.max_x, s.min_y, s.max_y) == (1, 3, -1, 5)
+
+
+class TestCanonicalKey:
+    def test_orientation_independent(self):
+        a = Segment(Point(0.1, 0.2), Point(0.3, 0.4))
+        assert a.canonical_key() == a.reversed().canonical_key()
+
+    def test_distinguishes_different_segments(self):
+        a = Segment(Point(0, 0), Point(1, 0))
+        b = Segment(Point(0, 0), Point(1, 1e-5))
+        assert a.canonical_key() != b.canonical_key()
+
+    def test_shared_edge_between_polygons_matches(self):
+        # The exact scenario of subdivision edge cancellation.
+        shared = Segment(Point(0.5, 0.0), Point(0.5, 1.0))
+        from_left_cell = Segment(Point(0.5, 1.0), Point(0.5, 0.0))
+        assert shared.canonical_key() == from_left_cell.canonical_key()
+
+
+class TestGeometryOps:
+    def test_contains_point(self):
+        s = Segment(Point(0, 0), Point(2, 2))
+        assert s.contains_point(Point(1, 1))
+        assert not s.contains_point(Point(1, 1.1))
+
+    def test_intersects(self):
+        a = Segment(Point(0, 0), Point(1, 1))
+        b = Segment(Point(0, 1), Point(1, 0))
+        assert a.intersects(b)
+
+    def test_intersection_point(self):
+        a = Segment(Point(0, 0), Point(1, 1))
+        b = Segment(Point(0, 1), Point(1, 0))
+        assert a.intersection_with(b) == Point(0.5, 0.5)
+
+    def test_y_at_x_at(self):
+        s = Segment(Point(0, 0), Point(2, 4))
+        assert s.y_at(1.0) == pytest.approx(2.0)
+        assert s.x_at(2.0) == pytest.approx(1.0)
+
+    def test_y_at_vertical_raises(self):
+        with pytest.raises(GeometryError):
+            Segment(Point(1, 0), Point(1, 5)).y_at(1.0)
+
+    def test_x_at_horizontal_raises(self):
+        with pytest.raises(GeometryError):
+            Segment(Point(0, 1), Point(5, 1)).x_at(1.0)

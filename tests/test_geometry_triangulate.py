@@ -1,0 +1,118 @@
+"""Unit tests for repro.geometry.triangulate (ear clipping + Triangle)."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.triangulate import Triangle, triangulate_polygon
+
+
+class TestTriangle:
+    def test_degenerate_rejected(self):
+        with pytest.raises(GeometryError):
+            Triangle(Point(0, 0), Point(1, 1), Point(2, 2))
+
+    def test_orientation_normalised(self):
+        cw = Triangle(Point(0, 0), Point(0, 1), Point(1, 0))
+        ccw = Triangle(Point(0, 0), Point(1, 0), Point(0, 1))
+        assert cw == ccw
+
+    def test_area(self):
+        t = Triangle(Point(0, 0), Point(2, 0), Point(0, 2))
+        assert t.area == pytest.approx(2.0)
+
+    def test_contains_point(self):
+        t = Triangle(Point(0, 0), Point(2, 0), Point(0, 2))
+        assert t.contains_point(Point(0.5, 0.5))
+        assert t.contains_point(Point(0, 0))       # vertex (closed)
+        assert t.contains_point(Point(1, 1))       # on hypotenuse
+        assert not t.contains_point(Point(2, 2))
+
+    def test_overlaps_closed_vs_interior(self):
+        a = Triangle(Point(0, 0), Point(1, 0), Point(0, 1))
+        b = Triangle(Point(1, 0), Point(2, 0), Point(1, 1))  # shares vertex
+        assert a.overlaps(b)
+        assert not a.overlaps_interior(b)
+
+    def test_overlaps_interior_true_overlap(self):
+        a = Triangle(Point(0, 0), Point(2, 0), Point(0, 2))
+        b = Triangle(Point(0.5, 0.5), Point(1.5, 0.5), Point(0.5, 1.5))
+        assert a.overlaps_interior(b)
+
+    def test_overlaps_interior_edge_adjacent(self):
+        a = Triangle(Point(0, 0), Point(1, 0), Point(0, 1))
+        b = Triangle(Point(1, 0), Point(0, 1), Point(1, 1))  # shares edge
+        assert not a.overlaps_interior(b)
+
+    def test_disjoint(self):
+        a = Triangle(Point(0, 0), Point(1, 0), Point(0, 1))
+        b = Triangle(Point(5, 5), Point(6, 5), Point(5, 6))
+        assert not a.overlaps(b)
+
+
+class TestEarClipping:
+    def _check_cover(self, ring, triangles):
+        """Triangles tile the polygon: areas sum and samples covered."""
+        ring_area = 0.0
+        for i in range(len(ring)):
+            ring_area += ring[i].cross(ring[(i + 1) % len(ring)])
+        ring_area = abs(ring_area) / 2.0
+        assert sum(t.area for t in triangles) == pytest.approx(ring_area)
+        assert len(triangles) == len(ring) - 2
+
+    def test_triangle_passthrough(self):
+        ring = [Point(0, 0), Point(1, 0), Point(0, 1)]
+        tris = triangulate_polygon(ring)
+        assert len(tris) == 1
+
+    def test_square(self):
+        ring = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)]
+        self._check_cover(ring, triangulate_polygon(ring))
+
+    def test_clockwise_input(self):
+        ring = [Point(0, 1), Point(1, 1), Point(1, 0), Point(0, 0)]
+        self._check_cover(ring, triangulate_polygon(ring))
+
+    def test_concave_l_shape(self):
+        ring = [
+            Point(0, 0), Point(2, 0), Point(2, 1),
+            Point(1, 1), Point(1, 2), Point(0, 2),
+        ]
+        self._check_cover(ring, triangulate_polygon(ring))
+
+    def test_star_shape(self):
+        # A 5-pointed star polygon (non-convex, 10 vertices).
+        ring = []
+        for k in range(10):
+            r = 1.0 if k % 2 == 0 else 0.4
+            ang = math.pi / 2 + k * math.pi / 5
+            ring.append(Point(r * math.cos(ang), r * math.sin(ang)))
+        self._check_cover(ring, triangulate_polygon(ring))
+
+    def test_collinear_chain_handled(self):
+        # Extra vertex on an edge (collinear): dropped, not fatal.
+        ring = [Point(0, 0), Point(1, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        tris = triangulate_polygon(ring)
+        total = sum(t.area for t in tris)
+        assert total == pytest.approx(4.0)
+
+    def test_too_few_vertices(self):
+        with pytest.raises(GeometryError):
+            triangulate_polygon([Point(0, 0), Point(1, 0)])
+
+    def test_random_convex_polygons(self):
+        rng = random.Random(3)
+        for _ in range(10):
+            n = rng.randint(3, 12)
+            angles = sorted(rng.uniform(0, 2 * math.pi) for _ in range(n))
+            if len(set(angles)) < 3:
+                continue
+            ring = [Point(math.cos(a), math.sin(a)) for a in angles]
+            tris = triangulate_polygon(ring)
+            area = 0.0
+            for i in range(len(ring)):
+                area += ring[i].cross(ring[(i + 1) % len(ring)])
+            assert sum(t.area for t in tris) == pytest.approx(abs(area) / 2.0)

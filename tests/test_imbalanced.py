@@ -1,0 +1,113 @@
+"""Tests for the imbalanced (access-skew-aware) D-tree extension."""
+
+import collections
+import random
+
+import pytest
+
+from repro.broadcast.params import SystemParameters
+from repro.core.dtree import DTree
+from repro.core.imbalanced import (
+    build_imbalanced_dtree,
+    expected_depth,
+    region_depths,
+)
+from repro.core.paging import PagedDTree
+from repro.errors import IndexBuildError
+from repro.workload import zipf_region_workload
+
+from tests.conftest import random_points_in
+
+
+def uniform_weights(sub):
+    return {rid: 1.0 for rid in sub.region_ids}
+
+
+def skewed_weights(sub, hot_count=3, hot_weight=50.0):
+    weights = {rid: 1.0 for rid in sub.region_ids}
+    for rid in sub.region_ids[:hot_count]:
+        weights[rid] = hot_weight
+    return weights
+
+
+class TestConstruction:
+    def test_missing_weights_rejected(self, voronoi60):
+        with pytest.raises(IndexBuildError):
+            build_imbalanced_dtree(voronoi60, {0: 1.0})
+
+    def test_negative_weights_rejected(self, voronoi60):
+        weights = uniform_weights(voronoi60)
+        weights[0] = -1.0
+        with pytest.raises(IndexBuildError):
+            build_imbalanced_dtree(voronoi60, weights)
+
+    def test_invalid_min_share(self, voronoi60):
+        with pytest.raises(IndexBuildError):
+            build_imbalanced_dtree(voronoi60, uniform_weights(voronoi60), min_share=2.0)
+
+    def test_uniform_weights_stay_nearly_balanced(self, voronoi60):
+        tree = build_imbalanced_dtree(voronoi60, uniform_weights(voronoi60))
+        depths = region_depths(tree)
+        assert max(depths.values()) <= 10  # ~log2(60) + small slack
+
+
+class TestCorrectness:
+    def test_matches_oracle_under_skew(self, voronoi60):
+        tree = build_imbalanced_dtree(voronoi60, skewed_weights(voronoi60))
+        for p in random_points_in(voronoi60, 600, seed=2):
+            assert tree.locate(p) == voronoi60.locate(p)
+
+    def test_paged_matches_oracle(self, voronoi60):
+        tree = build_imbalanced_dtree(voronoi60, skewed_weights(voronoi60))
+        paged = PagedDTree(tree, SystemParameters.for_index("dtree", 256))
+        for p in random_points_in(voronoi60, 300, seed=3):
+            assert paged.trace(p).region_id == voronoi60.locate(p)
+
+    def test_every_region_reachable(self, voronoi60):
+        tree = build_imbalanced_dtree(voronoi60, skewed_weights(voronoi60))
+        assert sorted(region_depths(tree)) == voronoi60.region_ids
+
+
+class TestSkewAdaptation:
+    def test_hot_regions_sit_shallower(self, voronoi60):
+        weights = skewed_weights(voronoi60, hot_count=2, hot_weight=100.0)
+        tree = build_imbalanced_dtree(voronoi60, weights, min_share=0.0)
+        depths = region_depths(tree)
+        hot = [depths[rid] for rid in voronoi60.region_ids[:2]]
+        cold = [
+            depths[rid]
+            for rid in voronoi60.region_ids[2:]
+        ]
+        assert max(hot) < sum(cold) / len(cold)
+
+    def test_expected_depth_beats_balanced_tree(self, voronoi60):
+        weights = skewed_weights(voronoi60, hot_count=3, hot_weight=80.0)
+        balanced = DTree.build(voronoi60)
+        imbalanced = build_imbalanced_dtree(voronoi60, weights, min_share=0.0)
+        assert expected_depth(imbalanced, weights) < expected_depth(
+            balanced, weights
+        )
+
+    def test_zipf_workload_tuning_improves(self, voronoi60):
+        # End-to-end: tuning time under a Zipf workload, balanced vs
+        # weight-matched imbalanced tree.
+        workload = zipf_region_workload(voronoi60, 500, theta=1.4, seed=4)
+        counts = collections.Counter(
+            voronoi60.locate(p) for p in workload.points
+        )
+        weights = {
+            rid: float(counts.get(rid, 0)) + 0.25
+            for rid in voronoi60.region_ids
+        }
+        params = SystemParameters.for_index("dtree", 128)
+        balanced = PagedDTree(DTree.build(voronoi60), params)
+        adapted = PagedDTree(
+            build_imbalanced_dtree(voronoi60, weights), params
+        )
+        t_balanced = sum(
+            balanced.trace(p).tuning_time for p in workload.points
+        )
+        t_adapted = sum(
+            adapted.trace(p).tuning_time for p in workload.points
+        )
+        assert t_adapted <= t_balanced

@@ -1,0 +1,141 @@
+"""End-to-end integration: every index, full broadcast pipeline.
+
+These tests run the complete stack — dataset generation, Voronoi valid
+scopes, index construction, packet paging, (1, m) scheduling, client
+simulation — for all four index structures, and check the cross-cutting
+invariants that individual unit tests cannot see.
+"""
+
+import random
+
+import pytest
+
+from repro.broadcast.client import BroadcastClient
+from repro.broadcast.metrics import evaluate_index, no_index_latency
+from repro.broadcast.params import SystemParameters
+from repro.broadcast.schedule import BroadcastSchedule
+from repro.core.dtree import DTree
+from repro.core.serialize import SerializedDTree
+from repro.datasets.catalog import hospital_dataset, uniform_dataset
+from repro.experiments.runner import INDEX_KINDS, build_index, page_index
+
+from tests.conftest import random_points_in
+
+
+@pytest.fixture(scope="module")
+def pipeline_subjects(voronoi60, clustered40):
+    return {"uniform": voronoi60, "clustered": clustered40}
+
+
+class TestFullPipeline:
+    @pytest.mark.parametrize("kind", INDEX_KINDS)
+    @pytest.mark.parametrize("workload", ["uniform", "clustered"])
+    def test_end_to_end(self, pipeline_subjects, kind, workload):
+        sub = pipeline_subjects[workload]
+        params = SystemParameters.for_index(kind, 256)
+        paged = page_index(kind, build_index(kind, sub, seed=3), params)
+        schedule = BroadcastSchedule(
+            index_packet_count=len(paged.packets),
+            region_ids=sub.region_ids,
+            params=params,
+        )
+        client = BroadcastClient(paged, schedule)
+        rng = random.Random(13)
+        for _ in range(60):
+            p = sub.random_point(rng)
+            t = rng.uniform(0, schedule.cycle_length)
+            result = client.query(p, t)
+            assert result.region_id == sub.locate(p)
+            assert result.access_latency > 0
+            assert result.index_tuning_time >= 1
+            # A client can never be served faster than waiting for the
+            # bucket alone.
+            assert result.access_latency >= schedule.bucket_packets
+
+    @pytest.mark.parametrize("kind", INDEX_KINDS)
+    def test_metrics_are_internally_consistent(self, voronoi60, kind):
+        params = SystemParameters.for_index(kind, 256)
+        paged = page_index(kind, build_index(kind, voronoi60, seed=3), params)
+        points = random_points_in(voronoi60, 150, seed=4)
+        metrics = evaluate_index(
+            paged, voronoi60.region_ids, params, points, seed=5
+        )
+        assert metrics.normalized_latency > 1.0  # an index can't beat optimal
+        assert metrics.mean_total_tuning >= metrics.mean_index_tuning + 1
+        assert metrics.index_packets == len(paged.packets)
+        assert (
+            metrics.cycle_length
+            == metrics.m * metrics.index_packets
+            + len(voronoi60) * params.data_packets_per_instance
+        )
+
+    def test_latency_reported_in_correct_units(self, voronoi60):
+        # normalized_latency * optimal == mean latency in packets.
+        params = SystemParameters.for_index("dtree", 512)
+        paged = page_index("dtree", build_index("dtree", voronoi60), params)
+        points = random_points_in(voronoi60, 100, seed=6)
+        metrics = evaluate_index(
+            paged, voronoi60.region_ids, params, points, seed=7
+        )
+        optimal = no_index_latency(len(voronoi60), params)
+        assert metrics.mean_access_latency == pytest.approx(
+            metrics.normalized_latency * optimal
+        )
+
+
+class TestSerializedPipeline:
+    def test_serialized_dtree_behind_the_simulator(self, voronoi60):
+        """The byte-level D-tree plugs into the same broadcast client."""
+        params = SystemParameters.for_index("dtree", 256)
+        serialized = SerializedDTree(DTree.build(voronoi60), params)
+
+        class _Adapter:
+            # BroadcastClient only needs .packets (len) and .trace().
+            packets = serialized.packets
+            trace = staticmethod(serialized.trace)
+
+        schedule = BroadcastSchedule(
+            index_packet_count=len(serialized.packets),
+            region_ids=voronoi60.region_ids,
+            params=params,
+        )
+        client = BroadcastClient(_Adapter(), schedule)
+        rng = random.Random(21)
+        hits = 0
+        for _ in range(60):
+            p = voronoi60.random_point(rng)
+            result = client.query(p, rng.uniform(0, schedule.cycle_length))
+            if result.region_id == voronoi60.locate(p):
+                hits += 1
+        assert hits >= 58  # 16-bit quantisation may flip near-boundary points
+
+
+class TestDatasetScaling:
+    def test_small_paper_datasets_run_whole_stack(self):
+        for dataset in (uniform_dataset(n=50, seed=1), hospital_dataset(n=50, seed=2)):
+            sub = dataset.subdivision
+            sub.validate(samples=300)
+            params = SystemParameters.for_index("dtree", 128)
+            paged = page_index("dtree", build_index("dtree", sub), params)
+            points = random_points_in(sub, 80, seed=3)
+            metrics = evaluate_index(
+                paged, sub.region_ids, params, points, seed=4
+            )
+            assert 1.0 < metrics.normalized_latency < 3.0
+
+    def test_index_ranking_stable_across_scales(self):
+        """The efficiency ranking D-tree >= R* > trian > trap holds at two
+        different dataset scales."""
+        for n in (40, 90):
+            sub = uniform_dataset(n=n, seed=5).subdivision
+            points = random_points_in(sub, 150, seed=6)
+            eff = {}
+            for kind in INDEX_KINDS:
+                params = SystemParameters.for_index(kind, 256)
+                paged = page_index(kind, build_index(kind, sub, seed=7), params)
+                eff[kind] = evaluate_index(
+                    paged, sub.region_ids, params, points, seed=8
+                ).efficiency
+            assert eff["dtree"] >= 0.85 * max(eff.values())
+            assert eff["trian"] > eff["trap"]
+            assert eff["dtree"] > eff["trian"]

@@ -1,0 +1,81 @@
+"""Tests for subdivision JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.io import (
+    load_subdivision,
+    save_subdivision,
+    subdivision_from_dict,
+    subdivision_to_dict,
+)
+
+from tests.conftest import random_points_in
+
+
+class TestRoundTrip:
+    def test_grid_round_trip(self, grid4x4, tmp_path):
+        path = tmp_path / "grid.json"
+        save_subdivision(grid4x4, path)
+        loaded = load_subdivision(path)
+        assert len(loaded) == len(grid4x4)
+        assert loaded.service_area == grid4x4.service_area
+        for p in random_points_in(grid4x4, 200, seed=1):
+            assert loaded.locate(p) == grid4x4.locate(p)
+
+    def test_voronoi_round_trip_preserves_shared_edges(self, voronoi60, tmp_path):
+        path = tmp_path / "voronoi.json"
+        save_subdivision(voronoi60, path)
+        loaded = load_subdivision(path)
+        # Shared edges must still cancel exactly (bit-identical floats).
+        counts = loaded.shared_edge_counts()
+        assert all(c in (1, 2) for c in counts.values())
+
+    def test_loaded_subdivision_builds_a_dtree(self, voronoi60, tmp_path):
+        from repro.core.dtree import DTree
+
+        path = tmp_path / "v.json"
+        save_subdivision(voronoi60, path)
+        loaded = load_subdivision(path)
+        tree = DTree.build(loaded)
+        for p in random_points_in(loaded, 200, seed=2):
+            assert tree.locate(p) == loaded.locate(p)
+
+    def test_payload_size_preserved(self, tmp_path):
+        from repro.tessellation.grid import grid_subdivision
+
+        sub = grid_subdivision(2, 2, payload_size=777)
+        path = tmp_path / "g.json"
+        save_subdivision(sub, path)
+        loaded = load_subdivision(path)
+        assert all(r.payload_size == 777 for r in loaded.regions)
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ReproError):
+            subdivision_from_dict({"format": "geojson", "version": 1})
+
+    def test_wrong_version_rejected(self, grid4x4):
+        doc = subdivision_to_dict(grid4x4)
+        doc["version"] = 99
+        with pytest.raises(ReproError):
+            subdivision_from_dict(doc)
+
+    def test_malformed_regions_rejected(self, grid4x4):
+        doc = subdivision_to_dict(grid4x4)
+        del doc["regions"][0]["ring"]
+        with pytest.raises(ReproError):
+            subdivision_from_dict(doc)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError):
+            load_subdivision(path)
+
+    def test_document_is_plain_json(self, grid4x4):
+        doc = subdivision_to_dict(grid4x4)
+        json.dumps(doc)  # must not raise

@@ -1,0 +1,110 @@
+"""Structural invariants of Kirkpatrick's hierarchy construction."""
+
+import pytest
+
+from repro.geometry.predicates import quantize_point
+from repro.geometry.triangulate import Triangle
+from repro.pointloc.kirkpatrick import (
+    MAX_REMOVABLE_DEGREE,
+    TrianTree,
+    _gap_triangles,
+    _super_triangle_corners,
+)
+from repro.tessellation.grid import grid_subdivision
+
+
+class TestGapTriangulation:
+    def test_conforms_to_border_vertices(self, grid4x4):
+        """Every subdivision border vertex appears as a gap-triangle
+        vertex (no T-junctions)."""
+        tree = TrianTree(grid4x4)
+        area = grid4x4.service_area
+        corners = _super_triangle_corners(area)
+        border = tree._border_vertices()
+        gap = _gap_triangles(area, corners, border)
+        gap_vertex_keys = {
+            quantize_point(v) for tri in gap for v in tri.vertices
+        }
+        for v in border:
+            assert quantize_point(v) in gap_vertex_keys
+
+    def test_tiles_annulus_exactly(self, voronoi60):
+        tree = TrianTree(voronoi60)
+        area = voronoi60.service_area
+        corners = _super_triangle_corners(area)
+        gap = _gap_triangles(area, corners, tree._border_vertices())
+        total = sum(t.area for t in gap)
+        expected = Triangle(*corners).area - area.area
+        assert total == pytest.approx(expected, rel=1e-9)
+
+    def test_no_interior_overlap(self, grid4x4):
+        tree = TrianTree(grid4x4)
+        area = grid4x4.service_area
+        corners = _super_triangle_corners(area)
+        gap = _gap_triangles(area, corners, tree._border_vertices())
+        for i, t1 in enumerate(gap):
+            for t2 in gap[i + 1 :]:
+                assert not t1.overlaps_interior(t2)
+
+
+class TestIndependentSet:
+    def test_chosen_vertices_are_independent(self, voronoi60):
+        tree = TrianTree(voronoi60)
+        # Rebuild the base triangulation and query one round's selection.
+        base = [
+            n for n in tree.nodes_level_order() if n.round_index == 0
+        ]
+        area = voronoi60.service_area
+        corner_keys = {
+            quantize_point(c) for c in _super_triangle_corners(area)
+        }
+        chosen = tree._independent_set(base, corner_keys)
+        keys = set(chosen)
+        for key, star in chosen.items():
+            assert len(star) <= MAX_REMOVABLE_DEGREE
+            # No neighbour of a chosen vertex is also chosen.
+            for node in star:
+                for v in node.triangle.vertices:
+                    vk = quantize_point(v)
+                    if vk != key:
+                        assert vk not in keys or vk == key
+
+    def test_super_triangle_corners_never_chosen(self, voronoi60):
+        tree = TrianTree(voronoi60)
+        base = [n for n in tree.nodes_level_order() if n.round_index == 0]
+        area = voronoi60.service_area
+        corner_keys = {
+            quantize_point(c) for c in _super_triangle_corners(area)
+        }
+        chosen = tree._independent_set(base, corner_keys)
+        assert not corner_keys & set(chosen)
+
+
+class TestHierarchyShape:
+    def test_rounds_are_logarithmic(self, voronoi60):
+        tree = TrianTree(voronoi60)
+        n_triangles = sum(
+            1 for n in tree.nodes_level_order() if n.round_index == 0
+        )
+        # A constant fraction of vertices is removed per round.
+        assert tree.rounds <= 4 * n_triangles.bit_length()
+
+    def test_children_always_finer(self, voronoi60):
+        tree = TrianTree(voronoi60)
+        for node in tree.nodes_level_order():
+            for child in node.children:
+                assert child.round_index < node.round_index
+
+    def test_child_overlap_is_genuine(self, voronoi60):
+        tree = TrianTree(voronoi60)
+        for node in tree.nodes_level_order():
+            for child in node.children:
+                assert node.triangle.overlaps_interior(child.triangle)
+
+    def test_root_count_at_most_t_min_or_stalled(self):
+        sub = grid_subdivision(3, 3)
+        tree = TrianTree(sub, t_min=4)
+        # Either the target was reached or coarsening stalled at a small
+        # irreducible set; both must stay far below the base size.
+        base = sum(1 for n in tree.nodes_level_order() if n.round_index == 0)
+        assert len(tree.roots) < base / 2

@@ -1,0 +1,140 @@
+"""Tests for multiplexing several services on one broadcast channel."""
+
+import random
+
+import pytest
+
+from repro.broadcast.multiplex import MultiplexedBroadcast, Service
+from repro.broadcast.params import SystemParameters
+from repro.core.dtree import DTree
+from repro.core.paging import PagedDTree
+from repro.errors import BroadcastError
+from repro.rstar.paged import PagedRStarTree, rstar_fanout
+from repro.rstar.tree import RStarTree
+
+from tests.conftest import random_points_in
+
+
+@pytest.fixture(scope="module")
+def channel(voronoi60, clustered40):
+    dtree_params = SystemParameters.for_index("dtree", 256)
+    rstar_params = SystemParameters.for_index("rstar", 256)
+    traffic = Service(
+        "traffic",
+        PagedDTree(DTree.build(voronoi60), dtree_params),
+        voronoi60.region_ids,
+        dtree_params,
+    )
+    hospitals = Service(
+        "hospitals",
+        PagedRStarTree(
+            RStarTree.build(clustered40, rstar_fanout(rstar_params)),
+            rstar_params,
+        ),
+        clustered40.region_ids,
+        rstar_params,
+    )
+    return MultiplexedBroadcast([traffic, hospitals])
+
+
+class TestConstruction:
+    def test_super_cycle_is_sum_of_cycles(self, channel):
+        total = sum(
+            s.schedule.cycle_length for s in channel.services.values()
+        )
+        assert channel.cycle_length == total
+
+    def test_duplicate_names_rejected(self, voronoi60):
+        params = SystemParameters.for_index("dtree", 256)
+        paged = PagedDTree(DTree.build(voronoi60), params)
+        service = Service("a", paged, voronoi60.region_ids, params)
+        with pytest.raises(BroadcastError):
+            MultiplexedBroadcast([service, service])
+
+    def test_mismatched_capacities_rejected(self, voronoi60):
+        p1 = SystemParameters.for_index("dtree", 256)
+        p2 = SystemParameters.for_index("dtree", 512)
+        a = Service("a", PagedDTree(DTree.build(voronoi60), p1),
+                    voronoi60.region_ids, p1)
+        b = Service("b", PagedDTree(DTree.build(voronoi60), p2),
+                    voronoi60.region_ids, p2)
+        with pytest.raises(BroadcastError):
+            MultiplexedBroadcast([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(BroadcastError):
+            MultiplexedBroadcast([])
+
+    def test_unknown_service(self, channel):
+        from repro.geometry.point import Point
+
+        with pytest.raises(BroadcastError):
+            channel.query("weather", Point(0.5, 0.5), 0.0)
+
+
+class TestTimeline:
+    def test_next_index_start_in_service_window(self, channel):
+        for name, service in channel.services.items():
+            offset = channel.offsets[name]
+            start = channel.next_index_start(name, 0.0)
+            assert offset <= start % channel.cycle_length < offset + (
+                service.schedule.cycle_length
+            )
+
+    def test_occurrences_advance_monotonically(self, channel):
+        t = 0.0
+        last = -1.0
+        for _ in range(6):
+            arrival = channel.next_index_start("hospitals", t)
+            assert arrival >= t
+            assert arrival > last
+            last = arrival
+            t = arrival + 1
+
+    def test_wraps_into_next_super_cycle(self, channel):
+        t = channel.cycle_length - 0.5
+        start = channel.next_index_start("traffic", t)
+        assert start >= channel.cycle_length
+
+
+class TestQueries:
+    def test_both_services_answer_correctly(
+        self, channel, voronoi60, clustered40
+    ):
+        rng = random.Random(5)
+        for p in random_points_in(voronoi60, 60, seed=1):
+            t = rng.uniform(0, channel.cycle_length)
+            result = channel.query("traffic", p, t)
+            assert result.region_id == voronoi60.locate(p)
+            assert result.access_latency > 0
+        for p in random_points_in(clustered40, 60, seed=2):
+            t = rng.uniform(0, channel.cycle_length)
+            result = channel.query("hospitals", p, t)
+            assert result.region_id == clustered40.locate(p)
+
+    def test_sharing_the_channel_costs_latency(self, channel, voronoi60):
+        """A multiplexed service waits longer than it would alone."""
+        from repro.broadcast.client import BroadcastClient
+
+        service = channel.services["traffic"]
+        solo = BroadcastClient(service.paged_index, service.schedule)
+        rng = random.Random(7)
+        shared_total = 0.0
+        solo_total = 0.0
+        for p in random_points_in(voronoi60, 80, seed=3):
+            t = rng.uniform(0, channel.cycle_length)
+            shared_total += channel.query("traffic", p, t).access_latency
+            solo_total += solo.query(p, t % service.schedule.cycle_length).access_latency
+        assert shared_total > solo_total
+
+    def test_tuning_time_unaffected_by_multiplexing(self, channel, voronoi60):
+        from repro.broadcast.client import BroadcastClient
+
+        service = channel.services["traffic"]
+        solo = BroadcastClient(service.paged_index, service.schedule)
+        rng = random.Random(9)
+        for p in random_points_in(voronoi60, 60, seed=4):
+            t = rng.uniform(0, channel.cycle_length)
+            shared = channel.query("traffic", p, t)
+            alone = solo.query(p, t % service.schedule.cycle_length)
+            assert shared.index_tuning_time == alone.index_tuning_time

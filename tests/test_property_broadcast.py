@@ -1,0 +1,130 @@
+"""Property-based tests (hypothesis) for the broadcast layer."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.broadcast.disks import square_root_frequencies, urgency_sequence
+from repro.broadcast.params import SystemParameters
+from repro.broadcast.schedule import (
+    BroadcastSchedule,
+    expected_latency_formula,
+    optimal_m,
+)
+
+params_1k = SystemParameters(packet_capacity=1024)
+
+index_sizes = st.integers(min_value=1, max_value=60)
+region_counts = st.integers(min_value=1, max_value=120)
+ms = st.integers(min_value=1, max_value=20)
+
+
+class TestScheduleProperties:
+    @given(index_sizes, region_counts, ms)
+    @settings(max_examples=80, deadline=None)
+    def test_every_bucket_exactly_once(self, index_p, n_regions, m):
+        sched = BroadcastSchedule(
+            index_p, list(range(n_regions)), params_1k, m=m
+        )
+        assert sorted(sched.bucket_position) == list(range(n_regions))
+        positions = sorted(sched.bucket_position.values())
+        assert len(set(positions)) == n_regions
+
+    @given(index_sizes, region_counts, ms)
+    @settings(max_examples=80, deadline=None)
+    def test_cycle_length_accounts_everything(self, index_p, n_regions, m):
+        sched = BroadcastSchedule(
+            index_p, list(range(n_regions)), params_1k, m=m
+        )
+        assert (
+            sched.cycle_length
+            == sched.m * index_p + n_regions * sched.bucket_packets
+        )
+
+    @given(index_sizes, region_counts, ms)
+    @settings(max_examples=80, deadline=None)
+    def test_segments_and_buckets_never_collide(self, index_p, n_regions, m):
+        sched = BroadcastSchedule(
+            index_p, list(range(n_regions)), params_1k, m=m
+        )
+        index_slots = set()
+        for start in sched.index_segment_starts:
+            index_slots.update(range(start, start + index_p))
+        bucket_slots = set()
+        for pos in sched.bucket_position.values():
+            bucket_slots.update(range(pos, pos + sched.bucket_packets))
+        assert not index_slots & bucket_slots
+        assert len(index_slots) + len(bucket_slots) == sched.cycle_length
+
+    @given(
+        index_sizes,
+        region_counts,
+        st.floats(min_value=0, max_value=5000, allow_nan=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_next_index_start_is_future_and_valid(self, index_p, n_regions, t):
+        sched = BroadcastSchedule(index_p, list(range(n_regions)), params_1k)
+        start = sched.next_index_start(t)
+        assert start >= t
+        assert start % sched.cycle_length in sched.index_segment_starts
+
+    @given(
+        index_sizes,
+        region_counts,
+        st.floats(min_value=0, max_value=5000, allow_nan=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_next_bucket_arrival_is_future_and_valid(
+        self, index_p, n_regions, t
+    ):
+        sched = BroadcastSchedule(index_p, list(range(n_regions)), params_1k)
+        region = n_regions // 2
+        arrival = sched.next_bucket_arrival(region, t)
+        assert arrival >= t
+        assert arrival % sched.cycle_length == sched.bucket_position[region]
+
+
+class TestOptimalMProperties:
+    @given(index_sizes, st.integers(min_value=1, max_value=3000))
+    @settings(max_examples=100, deadline=None)
+    def test_optimal_m_beats_neighbours(self, index_p, data_p):
+        m = optimal_m(index_p, data_p)
+        best = expected_latency_formula(index_p, data_p, m)
+        for other in (m - 1, m + 1):
+            if other >= 1:
+                assert best <= expected_latency_formula(
+                    index_p, data_p, other
+                ) + 1e-9
+
+
+class TestBroadcastDiskProperties:
+    weights = st.dictionaries(
+        st.integers(min_value=0, max_value=30),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    )
+
+    @given(weights, st.integers(min_value=1, max_value=10))
+    @settings(max_examples=80, deadline=None)
+    def test_frequencies_bounded_and_complete(self, weights, cap):
+        freq = square_root_frequencies(weights, max_frequency=cap)
+        assert set(freq) == set(weights)
+        assert all(1 <= f <= cap for f in freq.values())
+
+    @given(weights)
+    @settings(max_examples=60, deadline=None)
+    def test_urgency_sequence_counts(self, weights):
+        freq = square_root_frequencies(weights, max_frequency=6)
+        seq = urgency_sequence(freq)
+        assert len(seq) == sum(freq.values())
+        for rid, f in freq.items():
+            assert seq.count(rid) == f
+
+    @given(weights)
+    @settings(max_examples=60, deadline=None)
+    def test_heavier_items_never_air_less(self, weights):
+        assume(len(weights) >= 2)
+        freq = square_root_frequencies(weights, max_frequency=8)
+        items = sorted(weights, key=weights.get)
+        for light, heavy in zip(items, items[1:]):
+            assert freq[light] <= freq[heavy]

@@ -1,0 +1,230 @@
+"""Property-based tests: every index structure is an exact point-location
+oracle on randomly generated subdivisions.
+
+This is the library's master invariant: for any valid subdivision and any
+query point, every (logical and paged) index returns a region that
+*contains* the point — which pins the answer uniquely for interior points
+(the generic case) while allowing either side for queries falling exactly
+on a shared boundary, where the paper's semantics are ambiguous.
+"""
+
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.broadcast.params import SystemParameters
+from repro.core.dtree import DTree
+from repro.core.paging import PagedDTree
+from repro.datasets.catalog import SERVICE_AREA
+from repro.datasets.generators import uniform_points
+from repro.geometry.point import Point
+from repro.pointloc.kirkpatrick import PagedTrianTree, TrianTree
+from repro.pointloc.trapezoidal import PagedTrapTree, TrapTree
+from repro.rstar.paged import PagedRStarTree, rstar_fanout
+from repro.rstar.tree import RStarTree
+from repro.tessellation.grid import grid_subdivision
+from repro.tessellation.voronoi import voronoi_subdivision
+
+# Pre-built pool of random subdivisions (hypothesis draws indexes into it;
+# building a Voronoi diagram per example would dominate the runtime).
+_POOL = {}
+
+
+def _subdivision(pool_key):
+    if pool_key not in _POOL:
+        kind, seed, n = pool_key
+        if kind == "voronoi":
+            sites = uniform_points(n, seed=seed, service_area=SERVICE_AREA)
+            _POOL[pool_key] = voronoi_subdivision(sites, SERVICE_AREA)
+        else:
+            rng = random.Random(seed)
+            _POOL[pool_key] = grid_subdivision(
+                rng.randint(1, 5), rng.randint(2, 5)
+            )
+    return _POOL[pool_key]
+
+
+def _answer_ok(sub, p, region_id):
+    """The returned region must contain p (exact for interior points)."""
+    return sub.region(region_id).contains(p)
+
+
+def _assume_generic(sub, p):
+    """Skip query points lying exactly on a subdivision edge.
+
+    Queries exactly on a boundary are measure-zero and their routing is
+    undefined by the paper's Algorithm 2 (its closed D1/D3 comparisons can
+    send an exactly-on-the-line point to either side); every index in the
+    library guarantees the *generic* case only.
+    """
+    assume(not any(seg.contains_point(p) for seg in sub.all_edges()))
+
+
+subdivision_keys = st.one_of(
+    st.tuples(st.just("voronoi"), st.integers(0, 3), st.sampled_from([8, 15, 23])),
+    st.tuples(st.just("grid"), st.integers(0, 5), st.just(0)),
+)
+unit = st.floats(min_value=0.001, max_value=0.999, allow_nan=False)
+query_points = st.builds(Point, unit, unit)
+
+
+class TestLogicalIndexesAgreeWithOracle:
+    @given(subdivision_keys, query_points)
+    @settings(max_examples=60, deadline=None)
+    def test_dtree(self, key, p):
+        sub = _subdivision(key)
+        _assume_generic(sub, p)
+        tree = _cached(key, "dtree", lambda: DTree.build(sub))
+        assert _answer_ok(sub, p, tree.locate(p))
+
+    @given(subdivision_keys, query_points)
+    @settings(max_examples=60, deadline=None)
+    def test_rstar(self, key, p):
+        sub = _subdivision(key)
+        _assume_generic(sub, p)
+        tree = _cached(key, "rstar", lambda: RStarTree.build(sub, 5))
+        assert _answer_ok(sub, p, tree.locate(p))
+
+    @given(subdivision_keys, query_points)
+    @settings(max_examples=60, deadline=None)
+    def test_trap(self, key, p):
+        sub = _subdivision(key)
+        _assume_generic(sub, p)
+        tree = _cached(key, "trap", lambda: TrapTree(sub, seed=1))
+        assert _answer_ok(sub, p, tree.locate(p))
+
+    @given(subdivision_keys, query_points)
+    @settings(max_examples=60, deadline=None)
+    def test_trian(self, key, p):
+        sub = _subdivision(key)
+        _assume_generic(sub, p)
+        tree = _cached(key, "trian", lambda: TrianTree(sub))
+        assert _answer_ok(sub, p, tree.locate(p))
+
+
+class TestPagedIndexesAgreeWithOracle:
+    @given(subdivision_keys, query_points, st.sampled_from([64, 256, 1024]))
+    @settings(max_examples=60, deadline=None)
+    def test_paged_dtree(self, key, p, cap):
+        sub = _subdivision(key)
+        _assume_generic(sub, p)
+        paged = _cached(
+            key,
+            f"pdtree{cap}",
+            lambda: PagedDTree(
+                _cached(key, "dtree", lambda: DTree.build(sub)),
+                SystemParameters.for_index("dtree", cap),
+            ),
+        )
+        trace = paged.trace(p)
+        assert _answer_ok(sub, p, trace.region_id)
+        accessed = trace.packets_accessed
+        assert all(b >= a for a, b in zip(accessed, accessed[1:]))
+
+    @given(subdivision_keys, query_points, st.sampled_from([64, 256]))
+    @settings(max_examples=40, deadline=None)
+    def test_paged_rstar(self, key, p, cap):
+        sub = _subdivision(key)
+        _assume_generic(sub, p)
+        params = SystemParameters.for_index("rstar", cap)
+        paged = _cached(
+            key,
+            f"prstar{cap}",
+            lambda: PagedRStarTree(
+                RStarTree.build(sub, rstar_fanout(params)), params
+            ),
+        )
+        assert _answer_ok(sub, p, paged.trace(p).region_id)
+
+    @given(subdivision_keys, query_points, st.sampled_from([64, 256]))
+    @settings(max_examples=40, deadline=None)
+    def test_paged_trap(self, key, p, cap):
+        sub = _subdivision(key)
+        _assume_generic(sub, p)
+        paged = _cached(
+            key,
+            f"ptrap{cap}",
+            lambda: PagedTrapTree(
+                _cached(key, "trap", lambda: TrapTree(sub, seed=1)),
+                SystemParameters.for_index("trap", cap),
+            ),
+        )
+        assert _answer_ok(sub, p, paged.trace(p).region_id)
+
+    @given(subdivision_keys, query_points, st.sampled_from([64, 256]))
+    @settings(max_examples=40, deadline=None)
+    def test_paged_trian(self, key, p, cap):
+        sub = _subdivision(key)
+        _assume_generic(sub, p)
+        paged = _cached(
+            key,
+            f"ptrian{cap}",
+            lambda: PagedTrianTree(
+                _cached(key, "trian", lambda: TrianTree(sub)),
+                SystemParameters.for_index("trian", cap),
+            ),
+        )
+        assert _answer_ok(sub, p, paged.trace(p).region_id)
+
+
+class TestSerializedDTreeProperty:
+    """The byte-level decoder agrees with the oracle on random
+    subdivisions (up to 16-bit coordinate quantisation near boundaries)."""
+
+    @given(subdivision_keys, query_points, st.sampled_from([128, 512]))
+    @settings(max_examples=40, deadline=None)
+    def test_wire_decoder_matches_memory(self, key, p, cap):
+        from repro.core.serialize import SerializedDTree
+
+        sub = _subdivision(key)
+        _assume_generic(sub, p)
+        serialized = _cached(
+            key,
+            f"ser{cap}",
+            lambda: SerializedDTree(
+                _cached(key, "dtree", lambda: DTree.build(sub)),
+                SystemParameters.for_index("dtree", cap),
+            ),
+        )
+        got = serialized.trace(p).region_id
+        if not _answer_ok(sub, p, got):
+            # Only quantisation flips are tolerated: the answer's region
+            # must be within a few 16-bit steps of the query point.
+            step = serialized.codec.quantisation_step
+            assert sub.region(got).polygon.boundary_distance(p) <= 8 * step
+
+
+_INDEX_CACHE = {}
+
+
+def _cached(key, label, factory):
+    cache_key = (key, label)
+    if cache_key not in _INDEX_CACHE:
+        _INDEX_CACHE[cache_key] = factory()
+    return _INDEX_CACHE[cache_key]
+
+
+class TestCrossIndexAgreement:
+    """All four logical indexes give identical answers everywhere."""
+
+    @given(subdivision_keys, query_points)
+    @settings(max_examples=50, deadline=None)
+    def test_all_answers_contain_point(self, key, p):
+        sub = _subdivision(key)
+        _assume_generic(sub, p)
+        answers = {
+            _cached(key, "dtree", lambda: DTree.build(sub)).locate(p),
+            _cached(key, "rstar", lambda: RStarTree.build(sub, 5)).locate(p),
+            _cached(key, "trap", lambda: TrapTree(sub, seed=1)).locate(p),
+            _cached(key, "trian", lambda: TrianTree(sub)).locate(p),
+        }
+        assert all(_answer_ok(sub, p, rid) for rid in answers)
+        # Interior points (the generic case) force unanimity.
+        interior = [
+            r.region_id
+            for r in sub.regions
+            if r.polygon.contains_point(p, include_boundary=False)
+        ]
+        if len(interior) == 1:
+            assert answers == {interior[0]}

@@ -1,0 +1,135 @@
+"""Unit tests for the R*-tree baseline (§3.2)."""
+
+import pytest
+
+from repro.errors import IndexBuildError, PagingError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.broadcast.params import SystemParameters
+from repro.rstar.paged import PagedRStarTree, rstar_fanout
+from repro.rstar.tree import RStarEntry, RStarNode, RStarTree
+
+from tests.conftest import random_points_in
+
+
+def params_for(cap):
+    return SystemParameters.for_index("rstar", cap)
+
+
+class TestFanout:
+    def test_entry_size_model(self):
+        # entry = 2 coordinate pairs (8B) + 2B pointer = 10B.
+        assert rstar_fanout(params_for(64)) == 6
+        assert rstar_fanout(params_for(256)) == 25
+        assert rstar_fanout(params_for(2048)) == 204
+
+    def test_too_small_packet(self):
+        with pytest.raises(PagingError):
+            rstar_fanout(params_for(20))  # (20 - 2) // 10 = 1 entry
+
+
+class TestEntry:
+    def test_exactly_one_target(self):
+        r = Rect(0, 0, 1, 1)
+        with pytest.raises(IndexBuildError):
+            RStarEntry(r)
+        with pytest.raises(IndexBuildError):
+            RStarEntry(r, child=RStarNode(0), region_id=1)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("fanout", [4, 6, 25])
+    def test_invariants_hold(self, voronoi60, fanout):
+        tree = RStarTree.build(voronoi60, fanout)
+        tree.check_invariants()
+
+    def test_min_fanout_rejected(self, voronoi60):
+        with pytest.raises(IndexBuildError):
+            RStarTree(voronoi60, max_entries=1)
+
+    def test_root_split_grows_height(self, voronoi60):
+        tree = RStarTree.build(voronoi60, 4)
+        assert tree.height >= 3  # 60 regions at fanout 4
+
+    def test_all_regions_present(self, voronoi60):
+        tree = RStarTree.build(voronoi60, 6)
+        seen = []
+
+        def walk(node):
+            for e in node.entries:
+                if node.is_leaf:
+                    seen.append(e.region_id)
+                else:
+                    walk(e.child)
+
+        walk(tree.root)
+        assert sorted(seen) == voronoi60.region_ids
+
+    def test_mbrs_tight(self, voronoi60):
+        tree = RStarTree.build(voronoi60, 6)
+
+        def walk(node):
+            for e in node.entries:
+                if not node.is_leaf:
+                    assert e.mbr == e.child.mbr
+                    walk(e.child)
+
+        walk(tree.root)
+
+
+class TestLogicalQuery:
+    def test_agrees_with_oracle(self, voronoi60):
+        tree = RStarTree.build(voronoi60, 6)
+        for p in random_points_in(voronoi60, 600, seed=2):
+            assert tree.locate(p) == voronoi60.locate(p)
+
+    def test_clustered(self, clustered40):
+        tree = RStarTree.build(clustered40, 10)
+        for p in random_points_in(clustered40, 400, seed=3):
+            assert tree.locate(p) == clustered40.locate(p)
+
+    def test_grid(self, grid4x4):
+        tree = RStarTree.build(grid4x4, 4)
+        for p in random_points_in(grid4x4, 300, seed=4):
+            assert tree.locate(p) == grid4x4.locate(p)
+
+
+class TestPaged:
+    @pytest.mark.parametrize("cap", [64, 256, 2048])
+    def test_trace_matches_oracle(self, voronoi60, cap):
+        params = params_for(cap)
+        tree = RStarTree.build(voronoi60, rstar_fanout(params))
+        paged = PagedRStarTree(tree, params)
+        for p in random_points_in(voronoi60, 300, seed=cap):
+            assert paged.trace(p).region_id == voronoi60.locate(p)
+
+    @pytest.mark.parametrize("cap", [64, 256])
+    def test_trace_forward_only(self, voronoi60, cap):
+        params = params_for(cap)
+        tree = RStarTree.build(voronoi60, rstar_fanout(params))
+        paged = PagedRStarTree(tree, params)
+        for p in random_points_in(voronoi60, 300, seed=cap + 1):
+            accessed = paged.trace(p).packets_accessed
+            assert all(b >= a for a, b in zip(accessed, accessed[1:]))
+
+    def test_no_packet_overflow(self, voronoi60):
+        for cap in (64, 256, 2048):
+            params = params_for(cap)
+            tree = RStarTree.build(voronoi60, rstar_fanout(params))
+            paged = PagedRStarTree(tree, params)
+            assert all(p.used <= p.capacity for p in paged.packets)
+
+    def test_shape_layer_counted(self, voronoi60):
+        # Every region's shape must be allocated somewhere.
+        params = params_for(256)
+        tree = RStarTree.build(voronoi60, rstar_fanout(params))
+        paged = PagedRStarTree(tree, params)
+        assert sorted(paged._shape_packets) == voronoi60.region_ids
+
+    def test_tuning_includes_shape_accesses(self, voronoi60):
+        # A traced query must access at least root + leaf + one shape.
+        params = params_for(256)
+        tree = RStarTree.build(voronoi60, rstar_fanout(params))
+        paged = PagedRStarTree(tree, params)
+        trace = paged.trace(Point(0.5, 0.5))
+        assert trace.tuning_time >= 2

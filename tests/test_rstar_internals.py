@@ -1,0 +1,121 @@
+"""Behavioural tests of the R*-tree insertion machinery."""
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.rstar.tree import REINSERT_FRACTION, RStarEntry, RStarNode, RStarTree
+from repro.tessellation.grid import grid_subdivision
+
+
+def small_rect(x, y, size=0.01):
+    return Rect(x, y, x + size, y + size)
+
+
+class TestSplitQuality:
+    def test_split_respects_min_fill(self, voronoi60):
+        tree = RStarTree.build(voronoi60, 6)
+
+        def walk(node, is_root):
+            if not is_root:
+                assert len(node.entries) >= tree.min_entries
+            if not node.is_leaf:
+                for e in node.entries:
+                    walk(e.child, False)
+
+        walk(tree.root, True)
+
+    def test_split_separates_spatial_clusters(self):
+        """Two well-separated clusters must not be mixed by a split."""
+        sub = grid_subdivision(2, 2)  # only for the constructor
+        tree = RStarTree(sub, max_entries=4)
+        node = RStarNode(level=0)
+        rng = random.Random(1)
+        for i in range(5):
+            if i < 3:
+                node.entries.append(
+                    RStarEntry(small_rect(rng.uniform(0, 0.1), rng.uniform(0, 0.1)),
+                               region_id=i)
+                )
+            else:
+                node.entries.append(
+                    RStarEntry(small_rect(rng.uniform(0.9, 1.0), rng.uniform(0.9, 1.0)),
+                               region_id=i)
+                )
+        other = tree._split(node)
+        groups = [
+            {e.region_id for e in node.entries},
+            {e.region_id for e in other.entries},
+        ]
+        assert {0, 1, 2} in groups or {3, 4} in groups
+
+    def test_split_minimises_overlap_for_grid_row(self):
+        """Collinear boxes split into two contiguous runs (zero overlap)."""
+        sub = grid_subdivision(2, 2)
+        tree = RStarTree(sub, max_entries=4)
+        node = RStarNode(level=0)
+        for i in range(5):
+            node.entries.append(
+                RStarEntry(Rect(i * 0.2, 0.0, i * 0.2 + 0.18, 0.1), region_id=i)
+            )
+        other = tree._split(node)
+        r1, r2 = node.mbr, other.mbr
+        assert r1.overlap_area(r2) == pytest.approx(0.0)
+
+
+class TestForcedReinsert:
+    def test_reinsert_happens_once_per_level_per_insert(self, voronoi60):
+        tree = RStarTree(voronoi60, max_entries=4)
+        calls = []
+        original = tree._reinsert
+
+        def spy(node, path):
+            calls.append(node.level)
+            return original(node, path)
+
+        tree._reinsert = spy
+        for region in voronoi60.regions:
+            before = len(calls)
+            tree.insert(region.region_id, region.polygon.bbox)
+            new_levels = calls[before:]
+            assert len(new_levels) == len(set(new_levels))
+        tree.check_invariants()
+
+    def test_reinsert_fraction(self):
+        assert 0.0 < REINSERT_FRACTION < 0.5
+
+
+class TestChooseSubtree:
+    def test_inserting_into_covering_leaf(self):
+        """An MBR already covered by exactly one leaf goes there without
+        enlarging anything."""
+        sub = grid_subdivision(2, 2)
+        tree = RStarTree(sub, max_entries=8)
+        tree.insert(0, Rect(0.0, 0.0, 0.4, 0.4))
+        tree.insert(1, Rect(0.6, 0.6, 1.0, 1.0))
+        node, path = tree._choose_subtree(Rect(0.1, 0.1, 0.2, 0.2), 0)
+        assert node is tree.root  # still a single leaf
+        assert path == []
+
+    def test_deep_tree_choose_descends_to_leaf_level(self, voronoi60):
+        tree = RStarTree.build(voronoi60, 4)
+        node, path = tree._choose_subtree(Rect(0.5, 0.5, 0.51, 0.51), 0)
+        assert node.is_leaf
+        assert len(path) == tree.root.level
+
+
+class TestInsertionOrderRobustness:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_shuffled_insertion_stays_correct(self, voronoi60, seed):
+        rng = random.Random(seed)
+        regions = list(voronoi60.regions)
+        rng.shuffle(regions)
+        tree = RStarTree(voronoi60, max_entries=6)
+        for region in regions:
+            tree.insert(region.region_id, region.polygon.bbox)
+        tree.check_invariants()
+        for _ in range(200):
+            p = voronoi60.random_point(rng)
+            assert tree.locate(p) == voronoi60.locate(p)

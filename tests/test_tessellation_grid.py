@@ -1,0 +1,45 @@
+"""Unit tests for the grid tessellation helper."""
+
+import random
+
+import pytest
+
+from repro.errors import SubdivisionError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.tessellation.grid import grid_region_id_at, grid_subdivision
+
+
+class TestGridSubdivision:
+    def test_region_count(self):
+        assert len(grid_subdivision(3, 5)) == 15
+
+    def test_invalid_dims(self):
+        with pytest.raises(SubdivisionError):
+            grid_subdivision(0, 3)
+
+    def test_row_major_ids(self):
+        sub = grid_subdivision(2, 3)
+        # bottom-left cell is 0; cell at row 1, col 2 is 5
+        assert sub.locate(Point(0.01, 0.01)) == 0
+        assert sub.locate(Point(0.99, 0.99)) == 5
+
+    def test_custom_service_area(self):
+        area = Rect(10, 20, 14, 22)
+        sub = grid_subdivision(2, 2, service_area=area)
+        assert sub.service_area == area
+        assert sub.locate(Point(10.1, 20.1)) == 0
+        assert sub.locate(Point(13.9, 21.9)) == 3
+
+    def test_validates(self):
+        grid_subdivision(5, 7).validate(samples=300)
+
+    def test_closed_form_matches_locate(self, grid3x5):
+        rng = random.Random(1)
+        for _ in range(300):
+            p = grid3x5.random_point(rng)
+            assert grid3x5.locate(p) == grid_region_id_at(p, 3, 5)
+
+    def test_payload_size_propagates(self):
+        sub = grid_subdivision(2, 2, payload_size=512)
+        assert all(r.payload_size == 512 for r in sub.regions)

@@ -1,0 +1,82 @@
+"""Unit tests for the bounded Voronoi construction (§5 valid scopes)."""
+
+import random
+
+import pytest
+
+from repro.errors import SubdivisionError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.tessellation.voronoi import (
+    bounded_voronoi,
+    nearest_site,
+    voronoi_subdivision,
+)
+
+AREA = Rect(0, 0, 1, 1)
+
+
+class TestBoundedVoronoi:
+    def test_two_sites(self):
+        cells = bounded_voronoi([Point(0.25, 0.5), Point(0.75, 0.5)], AREA)
+        assert len(cells) == 2
+        assert cells[0].area == pytest.approx(0.5)
+        assert cells[1].area == pytest.approx(0.5)
+
+    def test_cells_are_clipped_to_area(self):
+        cells = bounded_voronoi(
+            [Point(0.1, 0.1), Point(0.9, 0.9), Point(0.5, 0.5)], AREA
+        )
+        for cell in cells:
+            bb = cell.bbox
+            assert bb.min_x >= -1e-9 and bb.max_x <= 1 + 1e-9
+            assert bb.min_y >= -1e-9 and bb.max_y <= 1 + 1e-9
+
+    def test_cells_tile_the_area(self):
+        rng = random.Random(2)
+        sites = [Point(rng.random(), rng.random()) for _ in range(25)]
+        cells = bounded_voronoi(sites, AREA)
+        assert sum(c.area for c in cells) == pytest.approx(AREA.area)
+
+    def test_each_cell_contains_its_site(self):
+        rng = random.Random(4)
+        sites = [Point(rng.random(), rng.random()) for _ in range(30)]
+        for site, cell in zip(sites, bounded_voronoi(sites, AREA)):
+            assert cell.contains_point(site)
+
+    def test_needs_two_sites(self):
+        with pytest.raises(SubdivisionError):
+            bounded_voronoi([Point(0.5, 0.5)], AREA)
+
+    def test_site_outside_area_rejected(self):
+        with pytest.raises(SubdivisionError):
+            bounded_voronoi([Point(0.5, 0.5), Point(2, 2)], AREA)
+
+
+class TestVoronoiSubdivision:
+    def test_region_ids_are_site_indices(self, voronoi60, voronoi60_sites):
+        for i, site in enumerate(voronoi60_sites):
+            assert voronoi60.region(i).contains(site)
+
+    def test_passes_validation(self, voronoi60):
+        voronoi60.validate(samples=500)
+
+    def test_locate_agrees_with_nearest_neighbour(
+        self, voronoi60, voronoi60_sites
+    ):
+        # The defining property of a Voronoi valid scope: the containing
+        # region's site is the nearest neighbour.
+        rng = random.Random(8)
+        for _ in range(300):
+            p = voronoi60.random_point(rng)
+            rid = voronoi60.locate(p)
+            nn, _ = nearest_site(voronoi60_sites, p)
+            assert rid == nn
+
+
+class TestNearestSite:
+    def test_basic(self):
+        sites = [Point(0, 0), Point(1, 0), Point(0, 1)]
+        idx, dist = nearest_site(sites, Point(0.9, 0.1))
+        assert idx == 1
+        assert dist == pytest.approx(Point(0.9, 0.1).distance_to(Point(1, 0)))

@@ -1,0 +1,94 @@
+"""Structural invariants of the trapezoidal map construction."""
+
+import random
+
+import pytest
+
+from repro.pointloc.trapezoidal import TrapTree, _Leaf, _XNode, _YNode
+from repro.tessellation.grid import grid_subdivision
+
+from tests.conftest import random_points_in
+
+
+class TestStructuralInvariants:
+    def test_node_counts_linear_in_segments(self, voronoi60):
+        """de Berg Thm 6.3: expected O(n) trapezoids and inner nodes."""
+        tree = TrapTree(voronoi60, seed=0)
+        n = len(voronoi60.all_edges())
+        counts = tree.node_counts()
+        # 3n+1 expected leaves; allow generous randomized slack.
+        assert counts["leaf"] <= 8 * n
+        # x-nodes: at most two per segment insertion.
+        assert counts["x"] <= 2 * n
+        # y-nodes: at least one per segment.
+        assert counts["y"] >= n
+
+    def test_all_leaves_reachable_and_typed(self, voronoi60):
+        tree = TrapTree(voronoi60, seed=0)
+        for node in tree.nodes_topological():
+            assert isinstance(node, (_XNode, _YNode, _Leaf))
+            if isinstance(node, _XNode):
+                assert node.left is not None and node.right is not None
+            if isinstance(node, _YNode):
+                assert node.above is not None and node.below is not None
+
+    def test_leaves_have_no_children_in_topo_order(self, voronoi60):
+        tree = TrapTree(voronoi60, seed=0)
+        order = tree.nodes_topological()
+        # Topological order ends only when every node is emitted once.
+        assert len(order) == len({id(n) for n in order})
+
+    def test_trapezoid_regions_are_valid_ids(self, voronoi60):
+        tree = TrapTree(voronoi60, seed=0)
+        valid = set(voronoi60.region_ids)
+        for node in tree.nodes_topological():
+            if isinstance(node, _Leaf):
+                region = node.trap.region
+                assert region is None or region in valid
+
+
+class TestRandomizationRobustness:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_every_insertion_order_builds_and_answers(self, seed):
+        sub = grid_subdivision(3, 3)
+        tree = TrapTree(sub, seed=seed)
+        for p in random_points_in(sub, 200, seed=seed + 10):
+            assert tree.locate(p) == sub.locate(p)
+
+    def test_structure_size_varies_with_seed_but_stays_linear(self, voronoi60):
+        n = len(voronoi60.all_edges())
+        sizes = [
+            sum(TrapTree(voronoi60, seed=s).node_counts().values())
+            for s in range(3)
+        ]
+        assert len(set(sizes)) >= 2  # randomization does something
+        assert all(size <= 12 * n for size in sizes)
+
+
+class TestSearchDepth:
+    def test_expected_logarithmic_depth(self, voronoi60):
+        """Search paths are short on average (O(log n) expected)."""
+        tree = TrapTree(voronoi60, seed=0)
+        rng = random.Random(3)
+
+        def depth(p):
+            from repro.pointloc.trapezoidal import _shear, _Leaf
+
+            node = tree.root
+            steps = 0
+            pt = _shear(p)
+            while not isinstance(node, _Leaf):
+                steps += 1
+                if isinstance(node, _XNode):
+                    node = node.right if pt.x >= node.point.x else node.left
+                else:
+                    from repro.pointloc.trapezoidal import _cross
+
+                    c = _cross(node.seg.p, node.seg.q, pt)
+                    node = node.above if c >= 0 else node.below
+            return steps
+
+        depths = [depth(voronoi60.random_point(rng)) for _ in range(300)]
+        mean = sum(depths) / len(depths)
+        n = len(voronoi60.all_edges())
+        assert mean <= 6 * (n).bit_length()  # generous O(log n) bound

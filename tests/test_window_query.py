@@ -1,0 +1,108 @@
+"""Tests for polygon/rect intersection and D-tree window queries."""
+
+import random
+
+import pytest
+
+from repro.core.dtree import DTree
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+from repro.tessellation.grid import grid_subdivision
+
+SQUARE = Polygon([Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)])
+
+
+class TestPolygonRectIntersection:
+    def test_disjoint(self):
+        assert not SQUARE.intersects_rect(Rect(5, 5, 6, 6))
+
+    def test_polygon_inside_rect(self):
+        assert SQUARE.intersects_rect(Rect(-1, -1, 3, 3))
+
+    def test_rect_inside_polygon(self):
+        assert SQUARE.intersects_rect(Rect(0.5, 0.5, 1.5, 1.5))
+
+    def test_crossing_boundaries(self):
+        # A tall thin rect slicing through the square without containing
+        # any square vertex and without its corners inside... corners at
+        # y<0 and y>2 are outside; edges cross.
+        assert SQUARE.intersects_rect(Rect(0.9, -1, 1.1, 3))
+
+    def test_touching_edge(self):
+        assert SQUARE.intersects_rect(Rect(2, 0, 3, 2))  # shares the x=2 edge
+
+    def test_touching_corner(self):
+        assert SQUARE.intersects_rect(Rect(2, 2, 3, 3))
+
+    def test_concave_notch_miss(self):
+        l_shape = Polygon([
+            Point(0, 0), Point(2, 0), Point(2, 1),
+            Point(1, 1), Point(1, 2), Point(0, 2),
+        ])
+        # Entirely inside the notch: no intersection.
+        assert not l_shape.intersects_rect(Rect(1.2, 1.2, 1.8, 1.8))
+        assert l_shape.intersects_rect(Rect(0.5, 1.2, 1.8, 1.8))
+
+
+def brute_force_window(sub, window):
+    return sorted(
+        r.region_id for r in sub.regions if r.polygon.intersects_rect(window)
+    )
+
+
+class TestDTreeWindowQuery:
+    def test_grid_known_answers(self, grid4x4):
+        tree = DTree.build(grid4x4)
+        # A window inside cell 5 only.
+        assert tree.window_query(Rect(0.30, 0.30, 0.45, 0.45)) == [5]
+        # A window spanning the full bottom row.
+        got = tree.window_query(Rect(0.01, 0.01, 0.99, 0.20))
+        assert got == [0, 1, 2, 3]
+
+    def test_whole_area_returns_everything(self, grid4x4):
+        tree = DTree.build(grid4x4)
+        assert tree.window_query(Rect(0, 0, 1, 1)) == grid4x4.region_ids
+
+    def test_matches_brute_force_on_voronoi(self, voronoi60):
+        tree = DTree.build(voronoi60)
+        rng = random.Random(3)
+        for _ in range(100):
+            x1, x2 = sorted(rng.uniform(0, 1) for _ in range(2))
+            y1, y2 = sorted(rng.uniform(0, 1) for _ in range(2))
+            if x2 - x1 < 1e-6 or y2 - y1 < 1e-6:
+                continue
+            window = Rect(x1, y1, x2, y2)
+            assert tree.window_query(window) == brute_force_window(
+                voronoi60, window
+            )
+
+    def test_matches_brute_force_on_clustered(self, clustered40):
+        tree = DTree.build(clustered40)
+        rng = random.Random(4)
+        for _ in range(60):
+            cx, cy = rng.uniform(0.1, 0.9), rng.uniform(0.1, 0.9)
+            half = rng.uniform(0.01, 0.2)
+            window = Rect(
+                max(0, cx - half), max(0, cy - half),
+                min(1, cx + half), min(1, cy + half),
+            )
+            assert tree.window_query(window) == brute_force_window(
+                clustered40, window
+            )
+
+    def test_descent_prunes_subtrees(self, voronoi60):
+        """A tiny window must visit far fewer candidates than N."""
+        tree = DTree.build(voronoi60)
+        tiny = Rect(0.31, 0.42, 0.32, 0.43)
+        result = tree.window_query(tiny)
+        assert 1 <= len(result) <= 6
+
+    def test_single_region_subdivision(self):
+        from repro.tessellation.subdivision import DataRegion, Subdivision
+
+        square = Polygon([Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)])
+        sub = Subdivision([DataRegion(3, square)])
+        tree = DTree.build(sub)
+        assert tree.window_query(Rect(0.2, 0.2, 0.4, 0.4)) == [3]
+        assert tree.window_query(Rect(2, 2, 3, 3)) == []

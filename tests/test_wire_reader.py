@@ -1,0 +1,55 @@
+"""Unit tests for the packet byte reader used by the wire-format decoder."""
+
+import pytest
+
+from repro.core.serialize import _PacketReader
+from repro.errors import QueryError
+
+
+def make_packets(*chunks):
+    return [bytes(c) for c in chunks]
+
+
+class TestPacketReader:
+    def test_read_within_one_packet(self):
+        packets = make_packets(b"abcdefgh")
+        accesses = []
+        reader = _PacketReader(packets, 8, 0, 2, accesses)
+        assert reader.read(3) == b"cde"
+        assert accesses == [0]
+
+    def test_read_spanning_packets(self):
+        packets = make_packets(b"abcd", b"efgh")
+        accesses = []
+        reader = _PacketReader(packets, 4, 0, 2, accesses)
+        assert reader.read(4) == b"cdef"
+        assert accesses == [0, 1]
+
+    def test_read_spanning_three_packets(self):
+        packets = make_packets(b"ab", b"cd", b"ef")
+        accesses = []
+        reader = _PacketReader(packets, 2, 0, 0, accesses)
+        assert reader.read(6) == b"abcdef"
+        assert accesses == [0, 1, 2]
+
+    def test_each_packet_recorded_once_per_visit(self):
+        packets = make_packets(b"abcd", b"efgh")
+        accesses = []
+        reader = _PacketReader(packets, 4, 0, 0, accesses)
+        reader.read(2)
+        reader.read(2)
+        reader.read(2)  # crosses into packet 1
+        assert accesses == [0, 1]
+
+    def test_starting_mid_stream(self):
+        packets = make_packets(b"abcd", b"efgh")
+        accesses = []
+        reader = _PacketReader(packets, 4, 1, 1, accesses)
+        assert reader.read(2) == b"fg"
+        assert accesses == [1]
+
+    def test_read_past_end_raises(self):
+        packets = make_packets(b"abcd")
+        reader = _PacketReader(packets, 4, 0, 2, [])
+        with pytest.raises(QueryError):
+            reader.read(10)

@@ -1,0 +1,109 @@
+"""Tests for the query-workload generators (extension)."""
+
+import collections
+
+import pytest
+
+from repro.errors import ReproError
+from repro.workload import (
+    hotspot_workload,
+    uniform_workload,
+    zipf_region_workload,
+)
+
+
+class TestUniformWorkload:
+    def test_size_and_bounds(self, voronoi60):
+        wl = uniform_workload(voronoi60, 200, seed=1)
+        assert len(wl) == 200
+        area = voronoi60.service_area
+        assert all(area.contains_point(p) for p in wl.points)
+
+    def test_deterministic(self, voronoi60):
+        a = uniform_workload(voronoi60, 50, seed=3)
+        b = uniform_workload(voronoi60, 50, seed=3)
+        assert a.points == b.points
+
+    def test_empty_rejected(self, voronoi60):
+        with pytest.raises(ReproError):
+            uniform_workload(voronoi60, 0)
+
+
+class TestHotspotWorkload:
+    def test_concentrates_near_center(self, voronoi60):
+        wl = hotspot_workload(
+            voronoi60, 300, centers=[(0.5, 0.5)], spread=0.05, seed=2
+        )
+        near = sum(
+            1
+            for p in wl.points
+            if (p.x - 0.5) ** 2 + (p.y - 0.5) ** 2 < 0.15 ** 2
+        )
+        assert near > 0.85 * len(wl)
+
+    def test_all_in_area(self, voronoi60):
+        wl = hotspot_workload(
+            voronoi60, 200, centers=[(0.02, 0.02)], spread=0.2, seed=4
+        )
+        area = voronoi60.service_area
+        assert all(area.contains_point(p) for p in wl.points)
+
+    def test_needs_centers(self, voronoi60):
+        with pytest.raises(ReproError):
+            hotspot_workload(voronoi60, 10, centers=[])
+
+
+class TestZipfWorkload:
+    def test_points_land_in_popular_regions(self, voronoi60):
+        wl = zipf_region_workload(voronoi60, 600, theta=1.2, seed=5)
+        counts = collections.Counter(voronoi60.locate(p) for p in wl.points)
+        # Rank-0 region must dominate a deep-tail region.
+        top = counts.get(voronoi60.region_ids[0], 0)
+        tail = counts.get(voronoi60.region_ids[-1], 0)
+        assert top > 4 * max(tail, 1)
+
+    def test_theta_zero_spreads_queries(self, voronoi60):
+        wl = zipf_region_workload(voronoi60, 600, theta=0.0, seed=6)
+        counts = collections.Counter(voronoi60.locate(p) for p in wl.points)
+        # With theta=0 every region has equal probability; at 10 per
+        # region on average no region should exceed ~4x its share.
+        assert max(counts.values()) <= 40
+
+    def test_region_order_override(self, voronoi60):
+        reversed_order = list(reversed(voronoi60.region_ids))
+        wl = zipf_region_workload(
+            voronoi60, 400, theta=1.5, seed=7, region_order=reversed_order
+        )
+        counts = collections.Counter(voronoi60.locate(p) for p in wl.points)
+        assert counts.get(reversed_order[0], 0) > counts.get(
+            reversed_order[-1], 0
+        )
+
+    def test_invalid_order_rejected(self, voronoi60):
+        with pytest.raises(ReproError):
+            zipf_region_workload(voronoi60, 10, region_order=[1, 2, 3])
+
+    def test_negative_theta_rejected(self, voronoi60):
+        with pytest.raises(ReproError):
+            zipf_region_workload(voronoi60, 10, theta=-1)
+
+
+class TestWorkloadsDriveMetrics:
+    def test_evaluate_index_accepts_any_workload(self, voronoi60):
+        from repro.broadcast.metrics import evaluate_index
+        from repro.broadcast.params import SystemParameters
+        from repro.core.dtree import DTree
+        from repro.core.paging import PagedDTree
+
+        params = SystemParameters.for_index("dtree", 256)
+        paged = PagedDTree(DTree.build(voronoi60), params)
+        for wl in (
+            uniform_workload(voronoi60, 100, seed=1),
+            hotspot_workload(voronoi60, 100, centers=[(0.3, 0.3)], seed=1),
+            zipf_region_workload(voronoi60, 100, seed=1),
+        ):
+            metrics = evaluate_index(
+                paged, voronoi60.region_ids, params, wl.points, seed=2
+            )
+            assert metrics.queries == 100
+            assert metrics.mean_index_tuning >= 1.0
