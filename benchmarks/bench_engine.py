@@ -1,0 +1,112 @@
+"""Batched query engine vs the per-query reference path.
+
+Measures end-to-end workload evaluation (index traversal + broadcast
+timeline + metric reduction) at N in {100, 1_000, 10_000} queries for
+every index family.  The headline acceptance number — batched >= 3x the
+per-query path at N = 10_000 on the D-tree — is asserted, not just
+printed, so a regression fails the benchmark suite.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine.py --benchmark-only
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.broadcast.metrics import evaluate_index_per_query
+from repro.datasets.catalog import uniform_dataset
+from repro.engine import evaluate_workload, index_family
+
+from benchmarks.conftest import run_once
+
+WORKLOAD_SIZES = (100, 1_000, 10_000)
+
+
+@pytest.fixture(scope="module")
+def subdivision():
+    return uniform_dataset(n=200, seed=42).subdivision
+
+
+@pytest.fixture(scope="module")
+def cells(subdivision):
+    """Paged index + params per kind, built once for the whole module."""
+    out = {}
+    for kind in ("dtree", "trian", "trap", "rstar"):
+        family = index_family(kind)
+        params = family.parameters(packet_capacity=256)
+        out[kind] = (family.build(subdivision, seed=7).page(params), params)
+    return out
+
+
+def _points(subdivision, n, seed=0):
+    rng = random.Random(seed)
+    return [subdivision.random_point(rng) for _ in range(n)]
+
+
+def _ids(kinds=("dtree", "trian", "trap", "rstar")):
+    return [
+        pytest.param(kind, n, id=f"{kind}-{n}")
+        for kind in kinds
+        for n in WORKLOAD_SIZES
+    ]
+
+
+@pytest.mark.parametrize("kind,n", _ids())
+def bench_engine_batched(benchmark, subdivision, cells, kind, n):
+    paged, params = cells[kind]
+    points = _points(subdivision, n)
+
+    summary = run_once(
+        benchmark,
+        lambda: evaluate_workload(
+            paged, subdivision.region_ids, params, points, seed=3
+        ).summary(subdivision.region_ids, params),
+    )
+    assert summary.queries == n
+
+
+@pytest.mark.parametrize("kind,n", _ids())
+def bench_engine_per_query(benchmark, subdivision, cells, kind, n):
+    paged, params = cells[kind]
+    points = _points(subdivision, n)
+
+    summary = run_once(
+        benchmark,
+        lambda: evaluate_index_per_query(
+            paged, subdivision.region_ids, params, points, seed=3
+        ),
+    )
+    assert summary.queries == n
+
+
+def bench_engine_speedup_dtree_10k(benchmark, subdivision, cells):
+    """The acceptance bar: >= 3x on the D-tree at 10k queries."""
+    paged, params = cells["dtree"]
+    points = _points(subdivision, 10_000)
+    region_ids = subdivision.region_ids
+
+    start = time.perf_counter()
+    legacy = evaluate_index_per_query(paged, region_ids, params, points, seed=3)
+    legacy_s = time.perf_counter() - start
+
+    def batched():
+        return evaluate_workload(
+            paged, region_ids, params, points, seed=3
+        ).summary(region_ids, params)
+
+    start = time.perf_counter()
+    summary = batched()
+    batched_s = time.perf_counter() - start
+    run_once(benchmark, batched)
+
+    assert summary.mean_access_latency == legacy.mean_access_latency
+    assert summary.mean_index_tuning == legacy.mean_index_tuning
+    speedup = legacy_s / batched_s
+    print(
+        f"\n[dtree @ 10k queries] per-query {legacy_s:.3f}s, "
+        f"batched {batched_s:.3f}s -> {speedup:.1f}x"
+    )
+    assert speedup >= 3.0, f"batched engine only {speedup:.1f}x"

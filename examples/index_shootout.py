@@ -13,8 +13,7 @@ import time
 
 from repro import uniform_dataset
 from repro.broadcast import evaluate_index
-from repro.broadcast.params import SystemParameters
-from repro.experiments.runner import INDEX_KINDS, build_index, page_index
+from repro.engine import INDEX_REGISTRY
 
 
 def main() -> None:
@@ -26,9 +25,9 @@ def main() -> None:
     print(f"{n} data regions, 500 random point queries per cell\n")
 
     logical = {}
-    for kind in INDEX_KINDS:
+    for kind, family in INDEX_REGISTRY.items():
         start = time.perf_counter()
-        logical[kind] = build_index(kind, subdivision, seed=7)
+        logical[kind] = family.build(subdivision, seed=7)
         print(f"built {kind:<6} in {time.perf_counter() - start:6.2f}s")
 
     for capacity in (64, 256, 1024):
@@ -37,9 +36,9 @@ def main() -> None:
             f"{'index':<8}{'index size':>12}{'m':>4}{'latency':>10}"
             f"{'tuning':>9}{'efficiency':>12}"
         )
-        for kind in INDEX_KINDS:
-            params = SystemParameters.for_index(kind, capacity)
-            paged = page_index(kind, logical[kind], params)
+        for kind, family in INDEX_REGISTRY.items():
+            params = family.parameters(capacity)
+            paged = logical[kind].page(params)
             metrics = evaluate_index(
                 paged, subdivision.region_ids, params, queries, seed=1
             )

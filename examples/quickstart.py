@@ -5,13 +5,9 @@ Run:  python examples/quickstart.py
 
 import random
 
-from repro import (
-    DTree,
-    PagedDTree,
-    SystemParameters,
-    uniform_dataset,
-)
+from repro import INDEX_REGISTRY, uniform_dataset
 from repro.broadcast import BroadcastClient, BroadcastSchedule
+from repro.engine import evaluate_workload
 from repro.geometry import Point
 
 
@@ -22,8 +18,11 @@ def main() -> None:
     subdivision = dataset.subdivision
     print(f"dataset: {dataset.name}, {dataset.n} data regions")
 
-    # 2. Build the D-tree (paper §4) and answer a logical point query.
-    tree = DTree.build(subdivision)
+    # 2. Build the D-tree (paper §4) through the AirIndex registry and
+    #    answer a logical point query.  Swap "dtree" for "trian", "trap"
+    #    or "rstar" and the rest of the script is unchanged.
+    family = INDEX_REGISTRY["dtree"]
+    tree = family.build(subdivision)
     query = Point(0.32, 0.68)
     region = tree.locate(query)
     print(f"D-tree: {tree.node_count} nodes, height {tree.height}")
@@ -31,8 +30,8 @@ def main() -> None:
     assert region == subdivision.locate(query)  # brute-force oracle agrees
 
     # 3. Page the tree into 256-byte broadcast packets (Algorithm 3).
-    params = SystemParameters.for_index("dtree", packet_capacity=256)
-    paged = PagedDTree(tree, params)
+    params = family.parameters(packet_capacity=256)
+    paged = tree.page(params)
     print(f"paged index: {len(paged.packets)} packets of {params.packet_capacity} B")
 
     # 4. Put index and data on the air with (1, m) interleaving and run a
@@ -56,6 +55,19 @@ def main() -> None:
     print(
         f"energy:  the client stayed awake for {result.total_tuning_time} packets "
         f"instead of ~{no_index_tuning:.0f} without an index"
+    )
+
+    # 5. Measure a whole workload at once with the batched query engine —
+    #    same per-query numbers as looping the client, several times faster.
+    workload = [subdivision.random_point(rng) for _ in range(1000)]
+    batch = evaluate_workload(
+        paged, subdivision.region_ids, params, workload, seed=2
+    )
+    summary = batch.summary(subdivision.region_ids, params)
+    print(
+        f"engine:  {summary.queries} queries -> "
+        f"latency {summary.normalized_latency:.2f}x optimal, "
+        f"index tuning {summary.mean_index_tuning:.1f} packets/query"
     )
 
 

@@ -6,19 +6,23 @@ Lee — ICDE 2003): the D-tree index, the trian-tree / trap-tree / R*-tree
 baselines, the wireless broadcast substrate with (1, m) interleaving, the
 Voronoi valid-scope construction, and the full evaluation harness.
 
-Quickstart::
+Quickstart (the :class:`AirIndex` protocol + registry API)::
 
-    from repro import uniform_dataset, DTree, SystemParameters, PagedDTree
+    from repro import INDEX_REGISTRY, uniform_dataset, uniform_workload
     from repro.broadcast import evaluate_index
     from repro.geometry import Point
 
     dataset = uniform_dataset(n=500, seed=1)
-    tree = DTree.build(dataset.subdivision)
+    family = INDEX_REGISTRY["dtree"]               # or trian/trap/rstar
+    tree = family.build(dataset.subdivision)       # logical index
     region = tree.locate(Point(0.3, 0.7))          # logical point query
 
-    params = SystemParameters.for_index("dtree", packet_capacity=256)
-    paged = PagedDTree(tree, params)               # Algorithm-3 paging
-    # ... schedule on the broadcast channel and measure (see examples/).
+    params = family.parameters(packet_capacity=256)
+    paged = tree.page(params)                      # Algorithm-3 paging
+    workload = uniform_workload(dataset.subdivision, n=1000, seed=2)
+    metrics = evaluate_index(                      # batched query engine
+        paged, dataset.subdivision.region_ids, params, workload.points
+    )
 """
 
 from repro.errors import (
@@ -59,9 +63,36 @@ from repro.broadcast import (
     BroadcastSchedule,
     BroadcastClient,
     evaluate_index,
+    evaluate_index_per_query,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Engine names resolved lazily (PEP 562): ``repro.engine`` imports the
+#: index families, which import the broadcast substrate, so an eager
+#: import here would cycle during package initialization.
+_ENGINE_EXPORTS = (
+    "AirIndex",
+    "IndexFamily",
+    "INDEX_REGISTRY",
+    "available_index_kinds",
+    "index_family",
+    "register_index",
+    "BatchResult",
+    "QueryEngine",
+    "evaluate_workload",
+    "TraceBatch",
+    "batched_trace",
+    "register_tracer",
+)
+
+
+def __getattr__(name: str):
+    if name in _ENGINE_EXPORTS:
+        from repro import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "ReproError",
@@ -104,5 +135,18 @@ __all__ = [
     "BroadcastSchedule",
     "BroadcastClient",
     "evaluate_index",
+    "evaluate_index_per_query",
+    "AirIndex",
+    "IndexFamily",
+    "INDEX_REGISTRY",
+    "available_index_kinds",
+    "index_family",
+    "register_index",
+    "BatchResult",
+    "QueryEngine",
+    "evaluate_workload",
+    "TraceBatch",
+    "batched_trace",
+    "register_tracer",
     "__version__",
 ]

@@ -22,6 +22,7 @@ from repro.broadcast.disks import (
 from repro.broadcast.metrics import (
     MetricsSummary,
     evaluate_index,
+    evaluate_index_per_query,
     no_index_tuning_time,
     no_index_latency,
     indexing_efficiency,
@@ -46,6 +47,7 @@ __all__ = [
     "region_weights_from_workload",
     "MetricsSummary",
     "evaluate_index",
+    "evaluate_index_per_query",
     "no_index_tuning_time",
     "no_index_latency",
     "indexing_efficiency",

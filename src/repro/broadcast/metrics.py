@@ -104,6 +104,42 @@ def evaluate_index(
     By default a flat (1, m) :class:`BroadcastSchedule` is built; pass
     *schedule* to measure an alternative broadcast program (e.g. the
     skewed broadcast-disks schedule) over the same index.
+
+    Evaluation is delegated to the batched
+    :class:`~repro.engine.QueryEngine`, which produces per-query results
+    identical to the per-query reference path
+    (:func:`evaluate_index_per_query`) — the engine is property-tested
+    against it — several times faster.
+    """
+    from repro.engine.batch import evaluate_workload
+
+    batch = evaluate_workload(
+        paged_index,
+        region_ids,
+        params,
+        query_points,
+        seed=seed,
+        m=m,
+        schedule=schedule,
+    )
+    return batch.summary(region_ids, params)
+
+
+def evaluate_index_per_query(
+    paged_index: PagedIndex,
+    region_ids: Sequence[int],
+    params: SystemParameters,
+    query_points: List[Point],
+    seed: int = 0,
+    m: Optional[int] = None,
+    schedule=None,
+) -> MetricsSummary:
+    """Reference implementation of :func:`evaluate_index`: one client
+    query at a time through :class:`BroadcastClient`.
+
+    Kept as the oracle the batched engine is property-tested against
+    (``tests/test_engine.py``); prefer :func:`evaluate_index` everywhere
+    else.
     """
     if not query_points:
         raise BroadcastError("need at least one query point")

@@ -6,6 +6,7 @@ Examples::
     python -m repro figure12 --scale paper --queries 2000
     python -m repro all --scale quick
     python -m repro ablations
+    python -m repro indexes
 """
 
 from __future__ import annotations
@@ -44,6 +45,19 @@ def _config_for(scale: str, queries: Optional[int], seed: int) -> ExperimentConf
     raise SystemExit(f"unknown scale {scale!r} (use 'paper' or 'quick')")
 
 
+def _list_indexes() -> None:
+    """Print the registered index families (the AirIndex registry)."""
+    from repro.engine import INDEX_REGISTRY
+
+    print(f"{'kind':<8} {'class':<12} {'display':<12} header  pointer")
+    for kind, family in INDEX_REGISTRY.items():
+        print(
+            f"{kind:<8} {family.index_cls.__name__:<12} "
+            f"{family.display_name:<12} {family.header_size:>5}B "
+            f"{family.pointer_size:>6}B"
+        )
+
+
 def _run_ablations() -> None:
     print("== A1: inter-prob tie-break (mean index tuning, packets) ==")
     for label, row in ablation_tie_break().items():
@@ -69,8 +83,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "target",
-        choices=sorted(_FIGURES) + ["all", "ablations"],
-        help="which figure(s) to regenerate",
+        choices=sorted(_FIGURES) + ["all", "ablations", "indexes"],
+        help="which figure(s) to regenerate ('indexes' lists the "
+        "registered AirIndex families)",
     )
     parser.add_argument(
         "--scale",
@@ -94,6 +109,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.target == "ablations":
         _run_ablations()
+        return 0
+    if args.target == "indexes":
+        _list_indexes()
         return 0
 
     config = _config_for(args.scale, args.queries, args.seed)

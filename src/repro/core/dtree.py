@@ -79,14 +79,19 @@ class DTree:
         subdivision: Subdivision,
         tie_break_inter_prob: bool = True,
         extended_styles: bool = False,
+        *,
+        seed: int = 0,
     ) -> "DTree":
         """Recursively partition the subdivision into a binary D-tree.
 
         ``tie_break_inter_prob`` switches the §4.2 tie-break (the A1
         ablation disables it).  ``extended_styles`` also considers
         complement-extent partitions (extension beyond the paper) which
-        can shrink top-level nodes considerably.
+        can shrink top-level nodes considerably.  ``seed`` is part of the
+        :class:`~repro.engine.AirIndex` protocol; the D-tree build is
+        deterministic, so it is accepted and ignored.
         """
+        del seed  # deterministic construction
         counter = [0]
 
         def make(region_ids: Sequence[int], level: int) -> Child:
@@ -111,6 +116,13 @@ class DTree:
         if not isinstance(root, DTreeNode):
             raise IndexBuildError("D-tree build produced no root node")
         return cls(subdivision, root)
+
+    def page(self, params) -> "PagedDTree":
+        """Allocate the tree to fixed-capacity packets (Algorithm 3) —
+        the :class:`~repro.engine.AirIndex` paging step."""
+        from repro.core.paging import PagedDTree
+
+        return PagedDTree(self, params)
 
     # -- queries ----------------------------------------------------------------
 

@@ -1,0 +1,48 @@
+"""repro.engine — the unified AirIndex protocol and batched query engine.
+
+Public surface:
+
+* :class:`AirIndex` / :class:`IndexFamily` / :data:`INDEX_REGISTRY` —
+  one build/page/locate protocol implemented by all index families, with
+  a registry replacing the old per-kind ``if``/``elif`` dispatch;
+* :class:`QueryEngine` / :class:`BatchResult` /
+  :func:`evaluate_workload` — bulk evaluation of query workloads,
+  bit-for-bit equivalent to (and several times faster than) the legacy
+  per-query path;
+* :func:`batched_trace` / :func:`register_tracer` — per-family batched
+  index traversal, extensible by third-party families.
+"""
+
+from repro.engine.protocol import (
+    AirIndex,
+    IndexFamily,
+    INDEX_REGISTRY,
+    available_index_kinds,
+    index_family,
+    register_index,
+)
+from repro.engine.trace import (
+    TraceBatch,
+    batched_trace,
+    register_tracer,
+)
+from repro.engine.batch import (
+    BatchResult,
+    QueryEngine,
+    evaluate_workload,
+)
+
+__all__ = [
+    "AirIndex",
+    "IndexFamily",
+    "INDEX_REGISTRY",
+    "available_index_kinds",
+    "index_family",
+    "register_index",
+    "TraceBatch",
+    "batched_trace",
+    "register_tracer",
+    "BatchResult",
+    "QueryEngine",
+    "evaluate_workload",
+]

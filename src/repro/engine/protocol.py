@@ -1,0 +1,187 @@
+"""The unified ``AirIndex`` protocol and the index registry.
+
+Before this module existed, each index family exposed its own ad-hoc
+surface — ``DTree.build(...)``, ``TrianTree(subdiv)``, ``TrapTree(subdiv,
+seed=...)`` and the R*-tree's capacity-dependent two-step — and the
+experiment driver dispatched on strings through ``if``/``elif`` chains.
+The :class:`AirIndex` protocol replaces all of that with one uniform
+surface:
+
+* ``build(subdivision, *, seed) -> AirIndex`` — construct the logical
+  (capacity-independent) index;
+* ``page(params) -> PagedIndex`` — allocate it to fixed-capacity
+  broadcast packets (capacity-dependent structure, e.g. the R*-tree
+  fan-out, is resolved here);
+* ``locate(point) -> int`` — answer a logical point query with the id of
+  the containing data region.
+
+:data:`INDEX_REGISTRY` maps a kind name (``"dtree"``, ``"trian"``, ...)
+to an :class:`IndexFamily` carrying the index class plus its Table-2
+parameter profile.  Adding a fifth index is a one-file change: implement
+the protocol and call :func:`register_index` — the experiment runner, the
+CLI and the batched query engine pick it up automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ReproError
+
+try:  # pragma: no cover - Protocol is standard from 3.8 on
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[misc]
+        return cls
+
+
+from repro.broadcast.packets import PagedIndex
+from repro.broadcast.params import SystemParameters
+from repro.geometry.point import Point
+from repro.tessellation.subdivision import Subdivision
+
+
+@runtime_checkable
+class AirIndex(Protocol):
+    """What every air-index family must implement.
+
+    The protocol splits the lifecycle exactly where the broadcast substrate
+    needs it split: the *logical* structure (capacity-independent, built
+    once per dataset) and the *paged* structure (one per packet capacity).
+    ``locate`` answers queries against the logical structure and doubles as
+    the correctness oracle for the paged/traced query path.
+    """
+
+    @classmethod
+    def build(cls, subdivision: Subdivision, *, seed: int = 0) -> "AirIndex":
+        """Build the logical index over *subdivision*."""
+        ...
+
+    def page(self, params: SystemParameters) -> PagedIndex:
+        """Allocate the index to packets of ``params.packet_capacity``."""
+        ...
+
+    def locate(self, point: Point) -> int:
+        """Id of the data region containing *point*."""
+        ...
+
+
+_PROTOCOL_METHODS = ("build", "page", "locate")
+
+
+@dataclass(frozen=True)
+class IndexFamily:
+    """One registered index kind: the class plus its parameter profile.
+
+    ``header_size`` and ``pointer_size`` are the family's Table-2 byte
+    sizes (the D-tree carries a node header, the R*-tree fits nodes to the
+    packet so a 2-byte in-packet pointer suffices, ...).
+    """
+
+    kind: str
+    index_cls: type
+    display_name: str
+    header_size: int = 0
+    pointer_size: int = 4
+
+    def parameters(self, packet_capacity: int = 256) -> SystemParameters:
+        """Table-2 system parameters for this family at one capacity."""
+        return SystemParameters(
+            header_size=self.header_size,
+            pointer_size=self.pointer_size,
+            packet_capacity=packet_capacity,
+        )
+
+    def build(self, subdivision: Subdivision, *, seed: int = 0):
+        """Build the family's logical index."""
+        return self.index_cls.build(subdivision, seed=seed)
+
+    def build_paged(
+        self,
+        subdivision: Subdivision,
+        packet_capacity: int = 256,
+        *,
+        seed: int = 0,
+    ) -> PagedIndex:
+        """Convenience: build and page in one call."""
+        return self.build(subdivision, seed=seed).page(
+            self.parameters(packet_capacity)
+        )
+
+
+#: kind name -> registered family, in canonical (figure) order.
+INDEX_REGISTRY: Dict[str, IndexFamily] = {}
+
+
+def register_index(family: IndexFamily, replace: bool = False) -> IndexFamily:
+    """Register an :class:`IndexFamily` under its kind name.
+
+    The index class must satisfy the :class:`AirIndex` protocol; a kind
+    can only be overwritten with ``replace=True``.
+    """
+    missing = [
+        name
+        for name in _PROTOCOL_METHODS
+        if not callable(getattr(family.index_cls, name, None))
+    ]
+    if missing:
+        raise ReproError(
+            f"{family.index_cls.__name__} does not satisfy the AirIndex "
+            f"protocol: missing {', '.join(missing)}"
+        )
+    if family.kind in INDEX_REGISTRY and not replace:
+        raise ReproError(
+            f"index kind {family.kind!r} is already registered "
+            "(pass replace=True to overwrite)"
+        )
+    INDEX_REGISTRY[family.kind] = family
+    return family
+
+
+def index_family(kind: str) -> IndexFamily:
+    """Look up a registered family by kind name (case-insensitive)."""
+    try:
+        return INDEX_REGISTRY[kind.lower()]
+    except KeyError:
+        raise ReproError(
+            f"unknown index kind {kind!r} "
+            f"(registered: {', '.join(INDEX_REGISTRY) or 'none'})"
+        ) from None
+
+
+def available_index_kinds() -> Tuple[str, ...]:
+    """Registered kind names in registration (canonical) order."""
+    return tuple(INDEX_REGISTRY)
+
+
+def _register_builtin_families() -> None:
+    """The paper's four structures, profiles matching Table 2."""
+    from repro.core.dtree import DTree
+    from repro.pointloc.kirkpatrick import TrianTree
+    from repro.pointloc.trapezoidal import TrapTree
+    from repro.rstar.tree import RStarTree
+
+    register_index(
+        IndexFamily("dtree", DTree, "D-tree", header_size=2, pointer_size=4)
+    )
+    register_index(
+        IndexFamily(
+            "trian", TrianTree, "Trian-tree", header_size=0, pointer_size=4
+        )
+    )
+    register_index(
+        IndexFamily(
+            "trap", TrapTree, "Trap-tree", header_size=0, pointer_size=4
+        )
+    )
+    register_index(
+        IndexFamily(
+            "rstar", RStarTree, "R*-tree", header_size=0, pointer_size=2
+        )
+    )
+
+
+_register_builtin_families()

@@ -1,0 +1,366 @@
+"""Batched traced queries over paged indexes.
+
+The per-query path answers one ``trace(point)`` at a time, walking the
+index in pure Python.  The batched tracers here answer a whole workload at
+once and return only what the broadcast timeline needs per query — the
+containing region, the last index packet read and the tuning time — while
+guaranteeing results identical to the per-query path:
+
+* **D-tree** — shared traversal: all queries descend the tree together,
+  splitting at each node with numpy-vectorized D1/D3 exclusive-zone tests
+  and a vectorized ray-parity test for the interlocking zone.  Queries
+  that follow the same packet path share one *prefix* record, so the
+  per-query Python bookkeeping of the scalar path disappears entirely.
+* **R*-tree** — batched DFS with numpy-vectorized MBR containment at
+  every node; the exact leaf polygon test reuses the scalar predicate so
+  boundary semantics cannot drift.
+* **anything else** — a per-point fallback over the index's own
+  ``trace``, so third-party families registered via
+  :func:`repro.engine.register_index` work unchanged; they can opt into
+  batching with :func:`register_tracer`.
+
+Every tracer applies the same forward-only channel check as
+:class:`repro.broadcast.client.BroadcastClient`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import BroadcastError, QueryError
+from repro.broadcast.packets import PagedIndex, dedupe_consecutive
+from repro.geometry.point import Point
+
+
+class TraceBatch:
+    """Per-query trace outcomes of one batched workload."""
+
+    __slots__ = ("region_ids", "last_packet", "tuning_time")
+
+    def __init__(
+        self,
+        region_ids: np.ndarray,
+        last_packet: np.ndarray,
+        tuning_time: np.ndarray,
+    ) -> None:
+        #: Data region answering each query.
+        self.region_ids = region_ids
+        #: Offset of the last index packet read (0 for an empty trace),
+        #: i.e. ``accessed[-1] if accessed else 0`` of the scalar path.
+        self.last_packet = last_packet
+        #: Index-search tuning time in packet accesses (Figure 12 unit).
+        self.tuning_time = tuning_time
+
+    def __len__(self) -> int:
+        return len(self.region_ids)
+
+    def __repr__(self) -> str:
+        return f"TraceBatch(n={len(self)})"
+
+
+Tracer = Callable[[PagedIndex, Sequence[Point]], TraceBatch]
+
+#: Paged-index class -> batched tracer.  Populated lazily with the
+#: built-ins; extended via :func:`register_tracer`.
+TRACER_REGISTRY: Dict[type, Tracer] = {}
+_BUILTINS_LOADED = False
+
+
+def register_tracer(paged_cls: type, tracer: Tracer) -> None:
+    """Register a batched tracer for a paged-index class."""
+    TRACER_REGISTRY[paged_cls] = tracer
+
+
+def _load_builtin_tracers() -> None:
+    # Imported lazily: the paged-index modules import the broadcast layer,
+    # which would cycle if pulled in while this package loads.
+    global _BUILTINS_LOADED
+    from repro.core.paging import PagedDTree
+    from repro.rstar.paged import PagedRStarTree
+
+    TRACER_REGISTRY.setdefault(PagedDTree, _trace_batch_dtree)
+    TRACER_REGISTRY.setdefault(PagedRStarTree, _trace_batch_rstar)
+    _BUILTINS_LOADED = True
+
+
+def batched_trace(paged_index: PagedIndex, points: Sequence[Point]) -> TraceBatch:
+    """Trace a whole workload, dispatching on the paged index's class."""
+    if not _BUILTINS_LOADED:
+        _load_builtin_tracers()
+    for cls in type(paged_index).__mro__:
+        tracer = TRACER_REGISTRY.get(cls)
+        if tracer is not None:
+            return tracer(paged_index, points)
+    return _trace_batch_generic(paged_index, points)
+
+
+def _check_forward(accessed: List[int]) -> None:
+    """Forward-only channel invariant (same check as the scalar client)."""
+    if any(b < a for a, b in zip(accessed, accessed[1:])):
+        raise BroadcastError(
+            "index traversal moved backwards on the broadcast channel: "
+            f"{accessed} — the index broadcast order is invalid"
+        )
+
+
+def _coords(points: Sequence[Point]):
+    n = len(points)
+    xs = np.fromiter((p.x for p in points), np.float64, count=n)
+    ys = np.fromiter((p.y for p in points), np.float64, count=n)
+    return xs, ys
+
+
+# -- generic fallback -------------------------------------------------------
+
+
+def _trace_batch_generic(
+    paged_index: PagedIndex, points: Sequence[Point]
+) -> TraceBatch:
+    """Per-point fallback over the index's own ``trace``."""
+    n = len(points)
+    regions = np.empty(n, np.int64)
+    last = np.empty(n, np.int64)
+    tuning = np.empty(n, np.int64)
+    for i, p in enumerate(points):
+        trace = paged_index.trace(p)
+        accessed = trace.packets_accessed
+        _check_forward(accessed)
+        regions[i] = trace.region_id
+        last[i] = accessed[-1] if accessed else 0
+        tuning[i] = trace.tuning_time
+    return TraceBatch(regions, last, tuning)
+
+
+# -- D-tree: shared prefix traversal ---------------------------------------
+
+
+def _early_sides(partition, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+    """Vectorized ``Partition.early_side_of``: 1 = first, 2 = second,
+    0 = interlocking zone D2 (full partition needed)."""
+    if partition.dimension == "y":
+        first = xs <= partition.first_bound
+        second = ~first & (xs >= partition.second_bound)
+    else:
+        first = ys >= partition.first_bound
+        second = ~first & (ys <= partition.second_bound)
+    out = np.zeros(len(xs), np.int8)
+    out[first] = 1
+    out[second] = 2
+    return out
+
+
+def _parity_sides(partition, xs, ys, segments) -> np.ndarray:
+    """Vectorized ``Partition.side_of`` ray-parity step for D2 queries.
+
+    Replicates the scalar arithmetic expression for the crossing abscissa
+    exactly (same IEEE-754 operation order), so batched and per-query
+    decisions agree bit for bit.
+    """
+    ax, ay, bx, by = segments
+    described_first = partition.style.described == "first"
+    with np.errstate(divide="ignore", invalid="ignore"):
+        if partition.dimension == "y":
+            cond = (ay[:, None] > ys) != (by[:, None] > ys)
+            t_at = ax[:, None] + (ys - ay[:, None]) / (
+                by[:, None] - ay[:, None]
+            ) * (bx[:, None] - ax[:, None])
+            hit = cond & ((t_at > xs) if described_first else (t_at < xs))
+        else:
+            cond = (ax[:, None] > xs) != (bx[:, None] > xs)
+            t_at = ay[:, None] + (xs - ax[:, None]) / (
+                bx[:, None] - ax[:, None]
+            ) * (by[:, None] - ay[:, None])
+            hit = cond & ((t_at < ys) if described_first else (t_at > ys))
+    odd = hit.sum(axis=0) % 2 == 1
+    if described_first:
+        return np.where(odd, 1, 2).astype(np.int8)
+    return np.where(odd, 2, 1).astype(np.int8)
+
+
+def _partition_segments(partition):
+    """Flat endpoint arrays of all partition polyline segments."""
+    ax: List[float] = []
+    ay: List[float] = []
+    bx: List[float] = []
+    by: List[float] = []
+    for polyline in partition.polylines:
+        for a, b in polyline.segment_endpoints():
+            ax.append(a.x)
+            ay.append(a.y)
+            bx.append(b.x)
+            by.append(b.y)
+    return (
+        np.asarray(ax, np.float64),
+        np.asarray(ay, np.float64),
+        np.asarray(bx, np.float64),
+        np.asarray(by, np.float64),
+    )
+
+
+def _trace_batch_dtree(paged, points: Sequence[Point]) -> TraceBatch:
+    """Shared traversal of the paged D-tree.
+
+    All queries descend together; at each node the active set splits by
+    the vectorized side test.  Queries taking the same packet path share
+    one interned *prefix*, so tuning/last-packet are computed once per
+    distinct path and scattered, not once per query.
+    """
+    tree = paged.tree
+    n = len(points)
+    if tree.root is None:
+        only = tree.subdivision.regions[0].region_id
+        zero = np.zeros(n, np.int64)
+        return TraceBatch(np.full(n, only, np.int64), zero, zero.copy())
+
+    xs, ys = _coords(points)
+    regions = np.empty(n, np.int64)
+    final_prefix = np.empty(n, np.int64)
+
+    #: prefix id -> (parent prefix id, packets appended at this step).
+    prefixes = [(-1, ())]
+    interned = {}
+
+    def extend_prefix(parent: int, appended: tuple) -> int:
+        key = (parent, appended)
+        pid = interned.get(key)
+        if pid is None:
+            pid = len(prefixes)
+            prefixes.append(key)
+            interned[key] = pid
+        return pid
+
+    segment_cache: Dict[int, tuple] = {}
+    stack = [(tree.root, np.arange(n), 0)]
+    while stack:
+        node, idxs, prefix = stack.pop()
+        packet_ids = paged._node_packets[node.node_id]
+        partition = node.partition
+        x = xs[idxs]
+        y = ys[idxs]
+
+        sides = _early_sides(partition, x, y)
+        interlocked = sides == 0
+        if interlocked.any():
+            segments = segment_cache.get(node.node_id)
+            if segments is None:
+                segments = _partition_segments(partition)
+                segment_cache[node.node_id] = segments
+            sides[interlocked] = _parity_sides(
+                partition, x[interlocked], y[interlocked], segments
+            )
+
+        short_prefix = extend_prefix(prefix, (packet_ids[0],))
+        if len(packet_ids) == 1:
+            extended = np.zeros(len(idxs), bool)
+            long_prefix = short_prefix
+        else:
+            # Multi-packet node: D2 queries (or all of them, when §4.4
+            # early termination is disabled) read the whole span.
+            extended = (
+                interlocked
+                if paged.early_termination
+                else np.ones(len(idxs), bool)
+            )
+            long_prefix = extend_prefix(prefix, tuple(packet_ids))
+
+        for side_code, child in ((1, node.left), (2, node.right)):
+            on_side = sides == side_code
+            for mask, child_prefix in (
+                (on_side & ~extended, short_prefix),
+                (on_side & extended, long_prefix),
+            ):
+                if not mask.any():
+                    continue
+                sub = idxs[mask]
+                if hasattr(child, "node_id"):  # DTreeNode
+                    stack.append((child, sub, child_prefix))
+                else:  # data pointer: the region id
+                    regions[sub] = child
+                    final_prefix[sub] = child_prefix
+
+    # Materialize each distinct packet path once and scatter the results.
+    memo: Dict[int, tuple] = {0: ()}
+
+    def full_path(pid: int) -> tuple:
+        known = memo.get(pid)
+        if known is None:
+            parent, appended = prefixes[pid]
+            known = full_path(parent) + appended
+            memo[pid] = known
+        return known
+
+    last = np.empty(n, np.int64)
+    tuning = np.empty(n, np.int64)
+    for pid in np.unique(final_prefix):
+        accessed = dedupe_consecutive(full_path(int(pid)))
+        _check_forward(accessed)
+        mask = final_prefix == pid
+        last[mask] = accessed[-1] if accessed else 0
+        tuning[mask] = len(set(accessed))
+    return TraceBatch(regions, last, tuning)
+
+
+# -- R*-tree: batched DFS with vectorized MBR tests -------------------------
+
+
+def _trace_batch_rstar(paged, points: Sequence[Point]) -> TraceBatch:
+    """Batched DFS over the paged R*-tree.
+
+    Point-in-MBR tests run vectorized per node entry; the exact polygon
+    containment at the leaves (boundary semantics included) reuses the
+    scalar predicate on the few surviving candidates.
+    """
+    n = len(points)
+    xs, ys = _coords(points)
+    regions = np.full(n, -1, np.int64)
+    accesses: List[List[int]] = [[] for _ in range(n)]
+    subdivision = paged.tree.subdivision
+
+    def search(node, idxs: np.ndarray) -> None:
+        packet = paged._node_packet[id(node)]
+        for i in idxs.tolist():
+            accesses[i].append(packet)
+        unresolved = idxs
+        for entry in node.entries:
+            if unresolved.size == 0:
+                break
+            mbr = entry.mbr
+            ux = xs[unresolved]
+            uy = ys[unresolved]
+            inside = (
+                (mbr.min_x <= ux)
+                & (ux <= mbr.max_x)
+                & (mbr.min_y <= uy)
+                & (uy <= mbr.max_y)
+            )
+            if not inside.any():
+                continue
+            candidates = unresolved[inside]
+            if node.is_leaf:
+                shape_packets = paged._shape_packets[entry.region_id]
+                polygon = subdivision.region(entry.region_id).polygon
+                for qi in candidates.tolist():
+                    accesses[qi].extend(shape_packets)
+                    if polygon.contains_point(points[qi]):
+                        regions[qi] = entry.region_id
+            else:
+                search(entry.child, candidates)
+            unresolved = unresolved[regions[unresolved] < 0]
+
+    search(paged.tree.root, np.arange(n))
+    if (regions < 0).any():
+        missing = int(np.argmax(regions < 0))
+        raise QueryError(
+            f"{points[missing]!r} not found in the paged R*-tree"
+        )
+
+    last = np.empty(n, np.int64)
+    tuning = np.empty(n, np.int64)
+    for i, raw in enumerate(accesses):
+        accessed = dedupe_consecutive(raw)
+        _check_forward(accessed)
+        last[i] = accessed[-1] if accessed else 0
+        tuning[i] = len(set(accessed))
+    return TraceBatch(regions, last, tuning)

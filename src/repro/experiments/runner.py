@@ -1,59 +1,64 @@
-"""Building, paging and measuring one (dataset, index, capacity) cell."""
+"""Building, paging and measuring one (dataset, index, capacity) cell.
+
+Index construction goes through the :class:`~repro.engine.AirIndex`
+protocol and :data:`~repro.engine.INDEX_REGISTRY` — the runner has no
+per-kind special cases, so a fifth index family registered via
+:func:`repro.engine.register_index` is swept by every figure
+automatically.  The old string-dispatch helpers :func:`build_index` and
+:func:`page_index` remain as deprecated shims.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import random
+import warnings
+from typing import Dict, List, Tuple
 
-from repro.errors import ReproError
 from repro.broadcast.metrics import MetricsSummary, evaluate_index
 from repro.broadcast.packets import PagedIndex
 from repro.broadcast.params import SystemParameters
-from repro.core.dtree import DTree
-from repro.core.paging import PagedDTree
 from repro.datasets.catalog import Dataset
-from repro.pointloc.kirkpatrick import PagedTrianTree, TrianTree
-from repro.pointloc.trapezoidal import PagedTrapTree, TrapTree
-from repro.rstar.paged import PagedRStarTree, rstar_fanout
-from repro.rstar.tree import RStarTree
+from repro.engine import available_index_kinds, index_family
 from repro.tessellation.subdivision import Subdivision
 from repro.experiments.config import ExperimentConfig
 
-#: Canonical index order used by every figure.
-INDEX_KINDS = ("dtree", "trian", "trap", "rstar")
+#: Canonical index order used by every figure (registry order).
+INDEX_KINDS = available_index_kinds()
 
 
 def build_index(kind: str, subdivision: Subdivision, seed: int = 0):
-    """Build the logical (un-paged) index structure of the given kind.
+    """Deprecated: build the logical index structure of the given kind.
 
-    The R*-tree's structure depends on its fan-out and therefore on the
-    packet capacity, so for ``"rstar"`` this returns the subdivision
-    itself and the real build happens in :func:`page_index`.
+    Use ``repro.engine.index_family(kind).build(subdivision, seed=seed)``
+    (or the index class's own :meth:`~repro.engine.AirIndex.build`)
+    instead.
     """
-    kind = kind.lower()
-    if kind == "dtree":
-        return DTree.build(subdivision)
-    if kind == "trian":
-        return TrianTree(subdivision)
-    if kind == "trap":
-        return TrapTree(subdivision, seed=seed)
-    if kind == "rstar":
-        return subdivision
-    raise ReproError(f"unknown index kind {kind!r}")
+    warnings.warn(
+        "experiments.runner.build_index is deprecated; use "
+        "repro.engine.INDEX_REGISTRY / index_family(kind).build(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return index_family(kind).build(subdivision, seed=seed)
 
 
 def page_index(kind: str, index, params: SystemParameters) -> PagedIndex:
-    """Page a logical index for the given packet capacity."""
-    kind = kind.lower()
-    if kind == "dtree":
-        return PagedDTree(index, params)
-    if kind == "trian":
-        return PagedTrianTree(index, params)
-    if kind == "trap":
-        return PagedTrapTree(index, params)
-    if kind == "rstar":
-        tree = RStarTree.build(index, rstar_fanout(params))
-        return PagedRStarTree(tree, params)
-    raise ReproError(f"unknown index kind {kind!r}")
+    """Deprecated: page a logical index for the given packet capacity.
+
+    Use the index's own :meth:`~repro.engine.AirIndex.page` instead.  For
+    backward compatibility a raw subdivision is still accepted for
+    ``"rstar"`` (the old ``build_index`` contract) and built on the spot.
+    """
+    warnings.warn(
+        "experiments.runner.page_index is deprecated; use "
+        "index.page(params) via the repro.engine.AirIndex protocol",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    family = index_family(kind)
+    if isinstance(index, Subdivision):
+        index = family.build(index)
+    return index.page(params)
 
 
 class CellResult:
@@ -90,11 +95,11 @@ def run_cell(
 ) -> CellResult:
     """Build (or reuse), page, schedule and measure one cell."""
     subdivision = dataset.subdivision
-    params = SystemParameters.for_index(index_kind, packet_capacity)
+    family = index_family(index_kind)
+    params = family.parameters(packet_capacity)
     if logical_index is None:
-        logical_index = build_index(index_kind, subdivision, seed=seed)
-    paged = page_index(index_kind, logical_index, params)
-    import random
+        logical_index = family.build(subdivision, seed=seed)
+    paged = logical_index.page(params)
 
     rng = random.Random(seed)
     points = [subdivision.random_point(rng) for _ in range(queries)]
@@ -125,8 +130,8 @@ class ExperimentMatrix:
             dataset = self.config.datasets[dataset_name]
             lkey = (dataset_name, index_kind)
             if lkey not in self._logical:
-                self._logical[lkey] = build_index(
-                    index_kind, dataset.subdivision, seed=self.config.seed
+                self._logical[lkey] = index_family(index_kind).build(
+                    dataset.subdivision, seed=self.config.seed
                 )
             self._cells[key] = run_cell(
                 dataset,

@@ -73,6 +73,21 @@ class TrianTree:
         self.roots: List[TrianNode] = []
         self._build()
 
+    @classmethod
+    def build(
+        cls, subdivision: Subdivision, *, seed: int = 0, t_min: int = 4
+    ) -> "TrianTree":
+        """Build the hierarchy — the :class:`~repro.engine.AirIndex`
+        constructor.  The construction is deterministic; ``seed`` is
+        accepted for protocol uniformity and ignored."""
+        del seed
+        return cls(subdivision, t_min=t_min)
+
+    def page(self, params) -> "PagedTrianTree":
+        """Allocate the hierarchy to fixed-capacity packets — the
+        :class:`~repro.engine.AirIndex` paging step."""
+        return PagedTrianTree(self, params)
+
     # -- construction -------------------------------------------------------------
 
     def _build(self) -> None:

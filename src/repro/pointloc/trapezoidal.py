@@ -145,6 +145,20 @@ class TrapTree:
         self.subdivision = subdivision
         self._build(seed)
 
+    @classmethod
+    def build(
+        cls, subdivision: Subdivision, *, seed: int = 0
+    ) -> "TrapTree":
+        """Build the search structure — the :class:`~repro.engine.AirIndex`
+        constructor.  ``seed`` orders the randomized incremental segment
+        insertion."""
+        return cls(subdivision, seed=seed)
+
+    def page(self, params) -> "PagedTrapTree":
+        """Allocate the structure to fixed-capacity packets — the
+        :class:`~repro.engine.AirIndex` paging step."""
+        return PagedTrapTree(self, params)
+
     # -- construction -----------------------------------------------------------
 
     def _build(self, seed: int) -> None:

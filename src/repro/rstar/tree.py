@@ -68,6 +68,12 @@ class RStarNode:
 class RStarTree:
     """The R*-tree over the MBRs of a subdivision's data regions."""
 
+    #: Fan-out used when a tree is built without a target packet capacity
+    #: (the :class:`~repro.engine.AirIndex` protocol builds the logical
+    #: index capacity-free); :meth:`page` re-fits the fan-out to the
+    #: packet capacity.
+    DEFAULT_MAX_ENTRIES = 8
+
     def __init__(self, subdivision: Subdivision, max_entries: int) -> None:
         if max_entries < 2:
             raise IndexBuildError(
@@ -84,13 +90,46 @@ class RStarTree:
     # -- construction -------------------------------------------------------
 
     @classmethod
-    def build(cls, subdivision: Subdivision, max_entries: int) -> "RStarTree":
+    def build(
+        cls,
+        subdivision: Subdivision,
+        max_entries: Optional[int] = None,
+        *,
+        seed: int = 0,
+    ) -> "RStarTree":
         """Insert every region's MBR one by one (dynamic construction, as
-        the original evaluation does)."""
+        the original evaluation does).
+
+        ``max_entries`` defaults to :data:`DEFAULT_MAX_ENTRIES`; when the
+        tree goes on the air, :meth:`page` re-fits the fan-out to the
+        packet capacity so one node always fills one packet.  ``seed`` is
+        part of the :class:`~repro.engine.AirIndex` protocol; insertion
+        order is deterministic, so it is accepted and ignored.
+        """
+        del seed  # deterministic insertion order
+        if max_entries is None:
+            max_entries = cls.DEFAULT_MAX_ENTRIES
         tree = cls(subdivision, max_entries)
         for region in subdivision.regions:
             tree.insert(region.region_id, region.polygon.bbox)
         return tree
+
+    def page(self, params) -> "PagedRStarTree":
+        """Allocate to fixed-capacity packets — the
+        :class:`~repro.engine.AirIndex` paging step.
+
+        The R*-tree's structure depends on its fan-out and therefore on
+        the packet capacity: the tree is rebuilt at
+        :func:`~repro.rstar.paged.rstar_fanout` entries per node unless it
+        already matches, then laid out in DFS order.
+        """
+        from repro.rstar.paged import PagedRStarTree, rstar_fanout
+
+        fanout = rstar_fanout(params)
+        tree = self
+        if self.max_entries != fanout:
+            tree = RStarTree.build(self.subdivision, fanout)
+        return PagedRStarTree(tree, params)
 
     def insert(self, region_id: int, mbr: Rect) -> None:
         """Insert one region MBR (R* InsertData)."""

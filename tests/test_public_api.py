@@ -14,6 +14,7 @@ SUBPACKAGES = [
     "repro.pointloc",
     "repro.rstar",
     "repro.broadcast",
+    "repro.engine",
     "repro.workload",
     "repro.experiments",
     "repro.analysis",
