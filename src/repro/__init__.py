@@ -66,7 +66,7 @@ from repro.broadcast import (
     evaluate_index_per_query,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: Engine names resolved lazily (PEP 562): ``repro.engine`` imports the
 #: index families, which import the broadcast substrate, so an eager
@@ -86,12 +86,33 @@ _ENGINE_EXPORTS = (
     "register_tracer",
 )
 
+#: Simulation names, lazy for the same reason (the simulator's candidate
+#: providers import the paged index classes).
+_SIMULATION_EXPORTS = (
+    "BernoulliLoss",
+    "ChannelSimulator",
+    "EnergyModel",
+    "ErrorModel",
+    "GilbertElliott",
+    "PerfectChannel",
+    "RecoveryPolicy",
+    "SimulationReport",
+    "UnreliableBroadcastClient",
+    "make_error_model",
+    "recovery_policy",
+    "simulate_workload",
+)
+
 
 def __getattr__(name: str):
     if name in _ENGINE_EXPORTS:
         from repro import engine
 
         return getattr(engine, name)
+    if name in _SIMULATION_EXPORTS:
+        from repro import simulation
+
+        return getattr(simulation, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -148,5 +169,17 @@ __all__ = [
     "TraceBatch",
     "batched_trace",
     "register_tracer",
+    "BernoulliLoss",
+    "ChannelSimulator",
+    "EnergyModel",
+    "ErrorModel",
+    "GilbertElliott",
+    "PerfectChannel",
+    "RecoveryPolicy",
+    "SimulationReport",
+    "UnreliableBroadcastClient",
+    "make_error_model",
+    "recovery_policy",
+    "simulate_workload",
     "__version__",
 ]

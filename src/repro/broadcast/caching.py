@@ -77,7 +77,14 @@ class CachingBroadcastClient:
 
         misses = [pid for pid in accessed if pid not in self.cache]
         if misses:
-            segment_start = self.schedule.next_index_start(issue_time)
+            # Anchor the channel wait at the first *uncached* packet: the
+            # client only needs a segment whose misses[0]-th packet is
+            # still ahead, which can be an earlier segment than the next
+            # segment start.  (Same rule as the fault simulator's cached
+            # path.)
+            segment_start = self.schedule.segment_for_offset(
+                misses[0], issue_time
+            )
             index_done = segment_start + misses[-1] + 1
             index_tuning = len(set(misses))
             probe = 1

@@ -109,9 +109,16 @@ class BroadcastClient:
         points: List[Point],
         seed: int = 0,
         issue_times: Optional[List[float]] = None,
+        rng: Optional[random.Random] = None,
     ) -> List[AccessResult]:
-        """Query each point at a uniform-random instant in the cycle."""
-        rng = random.Random(seed)
+        """Query each point at a uniform-random instant in the cycle.
+
+        Pass *rng* to draw issue times from an externally owned stream
+        (e.g. one shared across components for reproducible runs);
+        otherwise a fresh ``random.Random(seed)`` is used.
+        """
+        if rng is None:
+            rng = random.Random(seed)
         results = []
         for i, p in enumerate(points):
             if issue_times is not None:

@@ -110,6 +110,20 @@ class BroadcastSchedule:
                 return int(cycle) * self.cycle_length + start
         return (int(cycle) + 1) * self.cycle_length + self.index_segment_starts[0]
 
+    def segment_for_offset(self, offset: int, time: float) -> int:
+        """Start of the earliest index segment whose *offset*-th packet
+        airs at or after *time*.
+
+        A client that already holds the search-path prefix (from a
+        packet cache) need not wait for a segment *start* — only for the
+        first packet it actually has to read.  ``S + offset >= time``
+        iff ``S >= time - offset``, so the answer is the first segment
+        start at or after ``time - offset``.
+        """
+        if offset < 0:
+            raise BroadcastError(f"packet offset must be >= 0, got {offset}")
+        return self.next_index_start(time - offset)
+
     def next_bucket_arrival(self, region_id: int, time: float) -> int:
         """Absolute position of the next broadcast of *region_id*'s bucket
         at or after *time*."""

@@ -7,6 +7,7 @@ Examples::
     python -m repro all --scale quick
     python -m repro ablations
     python -m repro indexes
+    python -m repro simulate --queries 200 --error-rate 0.1 --seed 7
 """
 
 from __future__ import annotations
@@ -58,6 +59,43 @@ def _list_indexes() -> None:
         )
 
 
+def _run_simulate(args) -> int:
+    """Simulate every selected index family on a lossy channel and print
+    the tail-percentile table."""
+    from repro.datasets.catalog import uniform_dataset
+    from repro.engine import available_index_kinds
+    from repro.experiments.runner import run_faulty_cell
+    from repro.simulation import render_reports
+
+    kinds = (
+        available_index_kinds() if args.index == "all" else [args.index]
+    )
+    dataset = uniform_dataset(n=args.regions, seed=args.seed)
+    queries = args.queries or 400
+    reports = [
+        run_faulty_cell(
+            dataset,
+            kind,
+            args.capacity,
+            queries=queries,
+            seed=args.seed,
+            error_rate=args.error_rate,
+            error_model=args.error_model,
+            mean_burst=args.burst,
+            policy=args.policy,
+            cache_packets=args.cache,
+        )
+        for kind in kinds
+    ]
+    print(
+        f"# {queries} queries, {args.regions} regions, "
+        f"{args.capacity}B packets, error rate {args.error_rate:g} "
+        f"({args.error_model}), policy {args.policy}, seed {args.seed}"
+    )
+    print(render_reports(reports))
+    return 0
+
+
 def _run_ablations() -> None:
     print("== A1: inter-prob tie-break (mean index tuning, packets) ==")
     for label, row in ablation_tie_break().items():
@@ -83,9 +121,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "target",
-        choices=sorted(_FIGURES) + ["all", "ablations", "indexes"],
+        choices=sorted(_FIGURES) + ["all", "ablations", "indexes", "simulate"],
         help="which figure(s) to regenerate ('indexes' lists the "
-        "registered AirIndex families)",
+        "registered AirIndex families, 'simulate' runs the "
+        "faulty-channel simulator)",
     )
     parser.add_argument(
         "--scale",
@@ -105,8 +144,59 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="also write each figure's series as CSV into this directory",
     )
+    sim = parser.add_argument_group("simulate", "faulty-channel options")
+    sim.add_argument(
+        "--error-rate",
+        type=float,
+        default=0.05,
+        help="packet loss probability (long-run rate for both models)",
+    )
+    sim.add_argument(
+        "--error-model",
+        default="bernoulli",
+        choices=("bernoulli", "gilbert"),
+        help="i.i.d. loss or Gilbert-Elliott bursty loss",
+    )
+    sim.add_argument(
+        "--policy",
+        default="retry-next-segment",
+        choices=(
+            "retry-next-segment",
+            "retry-next-cycle",
+            "upper-bound-fallback",
+        ),
+        help="client recovery policy for lost index packets",
+    )
+    sim.add_argument(
+        "--index",
+        default="all",
+        help="one registered index kind, or 'all' (default)",
+    )
+    sim.add_argument(
+        "--regions",
+        type=int,
+        default=60,
+        help="service-area regions in the simulated dataset",
+    )
+    sim.add_argument(
+        "--capacity", type=int, default=256, help="packet capacity, bytes"
+    )
+    sim.add_argument(
+        "--cache",
+        type=int,
+        default=0,
+        help="client LRU packet-cache capacity (0 = no cache)",
+    )
+    sim.add_argument(
+        "--burst",
+        type=float,
+        default=4.0,
+        help="mean burst length for the gilbert model, packets",
+    )
     args = parser.parse_args(argv)
 
+    if args.target == "simulate":
+        return _run_simulate(args)
     if args.target == "ablations":
         _run_ablations()
         return 0

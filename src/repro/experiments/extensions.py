@@ -1,4 +1,4 @@
-"""Extension experiments E5-E7 (beyond the paper's evaluation).
+"""Extension experiments E5-E9 (beyond the paper's evaluation).
 
 * **E5 — divisions vs hyperplanes**: the D-tree against the kd-style
   hyperplane-split tree, quantifying the index inflation that region
@@ -7,6 +7,8 @@
   broadcast disks under Zipf query skew.
 * **E7 — client cache warm-up**: how a small LRU packet cache erodes the
   index-search tuning time over a query session.
+* **E9 — faulty channel**: recovery policies under packet loss — tail
+  latency/tuning percentiles per policy and error rate.
 """
 
 from __future__ import annotations
@@ -184,3 +186,41 @@ def extension_cache_warmup(
         ]
 
     return {"cold": windows(cold_series), "cached": windows(cached_series)}
+
+
+def extension_faulty_channel(
+    dataset: Optional[Dataset] = None,
+    packet_capacity: int = 256,
+    index_kind: str = "dtree",
+    error_rates: Sequence[float] = (0.01, 0.05, 0.1),
+    error_model: str = "bernoulli",
+    queries: int = 400,
+    seed: int = 7,
+) -> Dict[str, Dict[float, Dict[str, float]]]:
+    """E9: recovery policies under packet loss.
+
+    Sweeps every registered recovery policy over *error_rates* on one
+    index family and reports each cell's latency/tuning tail summary
+    (the p50/p95/p99 dict of
+    :meth:`repro.simulation.SimulationReport.summary`).
+    """
+    from repro.experiments.runner import run_faulty_cell
+    from repro.simulation import RECOVERY_POLICIES
+
+    dataset = dataset or uniform_dataset(n=200, seed=42)
+    out: Dict[str, Dict[float, Dict[str, float]]] = {}
+    for policy in RECOVERY_POLICIES:
+        out[policy] = {}
+        for rate in error_rates:
+            report = run_faulty_cell(
+                dataset,
+                index_kind,
+                packet_capacity,
+                queries=queries,
+                seed=seed,
+                error_rate=rate,
+                error_model=error_model,
+                policy=policy,
+            )
+            out[policy][rate] = report.summary()
+    return out

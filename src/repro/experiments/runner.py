@@ -113,6 +113,53 @@ def run_cell(
     return CellResult(dataset.name, index_kind, packet_capacity, metrics)
 
 
+def run_faulty_cell(
+    dataset: Dataset,
+    index_kind: str,
+    packet_capacity: int,
+    queries: int,
+    seed: int,
+    *,
+    error_rate: float = 0.05,
+    error_model: str = "bernoulli",
+    mean_burst: float = 4.0,
+    policy: str = "retry-next-segment",
+    cache_packets: int = 0,
+    logical_index=None,
+):
+    """Faulty-channel counterpart of :func:`run_cell`.
+
+    Builds (or reuses) the cell's logical index and runs the workload
+    through :func:`repro.simulation.simulate_workload` instead of the
+    error-free engine.  Returns the cell's
+    :class:`~repro.simulation.SimulationReport`.
+    """
+    from repro.simulation import simulate_workload
+
+    subdivision = dataset.subdivision
+    family = index_family(index_kind)
+    params = family.parameters(packet_capacity)
+    if logical_index is None:
+        logical_index = family.build(subdivision, seed=seed)
+    paged = logical_index.page(params)
+
+    rng = random.Random(seed)
+    points = [subdivision.random_point(rng) for _ in range(queries)]
+    return simulate_workload(
+        paged,
+        subdivision.region_ids,
+        params,
+        points,
+        error_rate=error_rate,
+        error_model=error_model,
+        mean_burst=mean_burst,
+        policy=policy,
+        cache_packets=cache_packets,
+        seed=seed,
+        index_kind=index_kind,
+    )
+
+
 class ExperimentMatrix:
     """All cells of one campaign, with logical indexes built once per
     (dataset, kind) and reused across the capacity sweep."""

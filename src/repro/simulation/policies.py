@@ -1,0 +1,109 @@
+"""Client recovery policies: what to do when an index packet is lost.
+
+A lost *index* packet is the expensive failure mode of an air index: the
+client holds a dangling pointer into the broadcast and must decide how
+to re-synchronise.  Three policies are modelled:
+
+* ``retry-next-segment`` — re-enter the index at the next index segment
+  (the (1, m) scheme airs m copies per cycle, so the expected extra wait
+  is one m-th of a cycle).  The client keeps everything it already read:
+  index segments are identical copies, so the search resumes at the
+  offset that was lost.
+* ``retry-next-cycle`` — sleep a full cycle and re-read the lost offset
+  in the same segment of the next cycle.  Simpler radios do this: no
+  segment directory is needed, only the cycle length.
+* ``upper-bound-fallback`` — give up on the index and download every
+  candidate bucket still reachable from the last good packet
+  (:mod:`repro.simulation.candidates`), checking each bucket's valid
+  scope until its own region arrives.  Trades tuning time (energy) for
+  latency — attractive when the channel is so bad that another index
+  read would likely be lost too.
+
+Policies are looked up by name through :data:`RECOVERY_POLICIES`;
+registering a new one is a one-file change, mirroring the
+:data:`~repro.engine.INDEX_REGISTRY` convention.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import BroadcastError
+
+
+class RecoveryPolicy:
+    """Strategy interface consumed by the unreliable client.
+
+    ``falls_back`` is True when an index loss aborts the index search in
+    favour of downloading candidate buckets; otherwise
+    :meth:`resume_segment_base` names the index segment in which the
+    lost offset is re-read.
+    """
+
+    name = "abstract"
+    falls_back = False
+
+    def resume_segment_base(
+        self, schedule, segment_base: int, lost_position: int
+    ) -> int:
+        """Absolute start of the index segment where the search resumes
+        after losing the packet at *lost_position* (a slot inside the
+        segment starting at *segment_base*)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class RetryNextSegment(RecoveryPolicy):
+    """Re-enter the index at the next airing of an index segment."""
+
+    name = "retry-next-segment"
+
+    def resume_segment_base(
+        self, schedule, segment_base: int, lost_position: int
+    ) -> int:
+        return schedule.next_index_start(float(lost_position + 1))
+
+
+class RetryNextCycle(RecoveryPolicy):
+    """Sleep one full cycle and re-read the same segment offset."""
+
+    name = "retry-next-cycle"
+
+    def resume_segment_base(
+        self, schedule, segment_base: int, lost_position: int
+    ) -> int:
+        return segment_base + schedule.cycle_length
+
+
+class UpperBoundFallback(RecoveryPolicy):
+    """Abandon the index; download all still-reachable candidate buckets."""
+
+    name = "upper-bound-fallback"
+    falls_back = True
+
+    def resume_segment_base(
+        self, schedule, segment_base: int, lost_position: int
+    ) -> int:
+        raise BroadcastError(
+            "upper-bound-fallback does not resume the index search"
+        )
+
+
+#: policy name -> shared stateless instance.
+RECOVERY_POLICIES: Dict[str, RecoveryPolicy] = {
+    policy.name: policy
+    for policy in (RetryNextSegment(), RetryNextCycle(), UpperBoundFallback())
+}
+
+
+def recovery_policy(name: str) -> RecoveryPolicy:
+    """Look up a recovery policy by name (case-insensitive)."""
+    try:
+        return RECOVERY_POLICIES[name.lower()]
+    except KeyError:
+        raise BroadcastError(
+            f"unknown recovery policy {name!r} "
+            f"(registered: {', '.join(RECOVERY_POLICIES)})"
+        ) from None

@@ -1,0 +1,174 @@
+"""Simulation results: per-query arrays reduced to tail percentiles.
+
+Mean latency/tuning — the paper's reporting unit — hides exactly what an
+unreliable channel ruins: the tail.  A 1 % loss rate barely moves the
+mean but multiplies the p99 latency (one lost index packet costs a
+segment or a cycle of extra wait).  :class:`SimulationReport` therefore
+keeps the full per-query arrays and reports p50/p95/p99 alongside the
+mean, for all three metrics (latency in packets, tuning in read
+attempts, energy in joules).
+
+Reports compare equal exactly (array-for-array), which is what the
+deterministic-replay guarantee is asserted against: same seed, same
+report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.errors import BroadcastError
+
+#: The percentiles every metric is summarised at.
+PERCENTILES = (50, 95, 99)
+
+
+class SimulationReport:
+    """Outcome of one simulated workload over an unreliable channel."""
+
+    __slots__ = (
+        "index_kind",
+        "policy",
+        "error_model",
+        "issue_times",
+        "region_ids",
+        "access_latency",
+        "tuning_time",
+        "energy_joules",
+        "packet_losses",
+        "read_attempts",
+    )
+
+    def __init__(
+        self,
+        index_kind: str,
+        policy: str,
+        error_model: str,
+        issue_times: np.ndarray,
+        region_ids: np.ndarray,
+        access_latency: np.ndarray,
+        tuning_time: np.ndarray,
+        energy_joules: np.ndarray,
+        packet_losses: np.ndarray,
+        read_attempts: np.ndarray,
+    ) -> None:
+        n = len(region_ids)
+        if n == 0:
+            raise BroadcastError("a simulation report needs at least one query")
+        for name, array in (
+            ("issue_times", issue_times),
+            ("access_latency", access_latency),
+            ("tuning_time", tuning_time),
+            ("energy_joules", energy_joules),
+            ("packet_losses", packet_losses),
+            ("read_attempts", read_attempts),
+        ):
+            if len(array) != n:
+                raise BroadcastError(
+                    f"{name} has {len(array)} entries for {n} queries"
+                )
+        self.index_kind = index_kind
+        self.policy = policy
+        #: Repr of the error model the run used (self-describing label).
+        self.error_model = error_model
+        self.issue_times = issue_times
+        self.region_ids = region_ids
+        #: Packets from query issue to data fully received.
+        self.access_latency = access_latency
+        #: Total read attempts per query (probe + index + data; lost
+        #: reads included — the radio was on either way).
+        self.tuning_time = tuning_time
+        self.energy_joules = energy_joules
+        self.packet_losses = packet_losses
+        self.read_attempts = read_attempts
+
+    def __len__(self) -> int:
+        return len(self.region_ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulationReport({self.index_kind}, policy={self.policy}, "
+            f"model={self.error_model}, n={len(self)}, "
+            f"losses={int(self.packet_losses.sum())})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SimulationReport):
+            return NotImplemented
+        if (
+            self.index_kind != other.index_kind
+            or self.policy != other.policy
+            or self.error_model != other.error_model
+        ):
+            return False
+        return all(
+            np.array_equal(getattr(self, name), getattr(other, name))
+            for name in (
+                "issue_times",
+                "region_ids",
+                "access_latency",
+                "tuning_time",
+                "energy_joules",
+                "packet_losses",
+                "read_attempts",
+            )
+        )
+
+    __hash__ = None  # mutable arrays inside
+
+    # -- reductions ---------------------------------------------------------
+
+    @property
+    def total_losses(self) -> int:
+        """Lost/corrupted reads across the whole workload."""
+        return int(self.packet_losses.sum())
+
+    def percentiles(self, metric: str) -> Dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` of one metric array
+        (``"access_latency"``, ``"tuning_time"`` or ``"energy_joules"``)."""
+        array = getattr(self, metric)
+        return {
+            f"p{q}": float(np.percentile(array, q)) for q in PERCENTILES
+        }
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of means and percentiles for every metric, plus loss
+        counts — the row the CLI and benchmarks print."""
+        out: Dict[str, float] = {
+            "queries": float(len(self)),
+            "losses": float(self.total_losses),
+            "mean_attempts": float(self.read_attempts.mean()),
+        }
+        for metric, label in (
+            ("access_latency", "latency"),
+            ("tuning_time", "tuning"),
+            ("energy_joules", "energy_j"),
+        ):
+            array = getattr(self, metric)
+            out[f"{label}_mean"] = float(array.mean())
+            for key, value in self.percentiles(metric).items():
+                out[f"{label}_{key}"] = value
+        return out
+
+
+def render_reports(reports: Sequence[SimulationReport]) -> str:
+    """A fixed-width table of report summaries (one row per report)."""
+    header = (
+        f"{'index':<7} {'policy':<19} {'error model':<28} "
+        f"{'lat p50':>8} {'lat p95':>9} {'lat p99':>9} "
+        f"{'tune p95':>8} {'mJ p50':>8} {'mJ p99':>8} {'losses':>6}"
+    )
+    lines: List[str] = [header, "-" * len(header)]
+    for report in reports:
+        s = report.summary()
+        lines.append(
+            f"{report.index_kind:<7} {report.policy:<19} "
+            f"{report.error_model:<28} "
+            f"{s['latency_p50']:>8.1f} {s['latency_p95']:>9.1f} "
+            f"{s['latency_p99']:>9.1f} {s['tuning_p95']:>8.1f} "
+            f"{s['energy_j_p50'] * 1000:>8.2f} "
+            f"{s['energy_j_p99'] * 1000:>8.2f} {int(s['losses']):>6}"
+        )
+    return "\n".join(lines)

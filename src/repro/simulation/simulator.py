@@ -1,0 +1,182 @@
+"""The discrete-event channel simulator: workloads over a lossy channel.
+
+:class:`ChannelSimulator` drives an
+:class:`~repro.simulation.client.UnreliableBroadcastClient` through a
+whole workload and reduces the per-query outcomes to a
+:class:`~repro.simulation.report.SimulationReport`.  It accepts any
+paged index satisfying the :class:`~repro.broadcast.packets.PagedIndex`
+protocol — all four registered :class:`~repro.engine.AirIndex` families
+run under *identical* fault schedules because the error model's rng is
+reseeded per run from the workload seed, independently of the index.
+
+Determinism contract: ``run(...)`` with the same seed (and the same
+simulator configuration) produces an identical report, bit for bit —
+issue times come from ``random.Random(seed)`` (the same stream the
+batched :class:`~repro.engine.QueryEngine` uses, so the zero-error
+property test can compare elementwise) and channel randomness from a
+stream derived from the seed but not shared with it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import BroadcastError
+from repro.broadcast.packets import PagedIndex
+from repro.broadcast.params import SystemParameters
+from repro.broadcast.schedule import BroadcastSchedule
+from repro.simulation.client import SimAccessResult, UnreliableBroadcastClient
+from repro.simulation.energy import EnergyModel
+from repro.simulation.faults import ErrorModel, make_error_model
+from repro.simulation.policies import RecoveryPolicy
+from repro.simulation.report import SimulationReport
+
+try:  # pragma: no cover - mirror the engine's Workload union
+    from repro.workload.generators import QueryWorkload
+except ImportError:  # pragma: no cover
+    QueryWorkload = None  # type: ignore[assignment]
+
+
+def _workload_points(workload) -> Sequence:
+    if QueryWorkload is not None and isinstance(workload, QueryWorkload):
+        return workload.points
+    return workload
+
+
+class ChannelSimulator:
+    """Simulates one (paged index, schedule) pair under channel faults."""
+
+    def __init__(
+        self,
+        paged_index: PagedIndex,
+        schedule,
+        *,
+        error_model: Optional[ErrorModel] = None,
+        policy: Union[str, RecoveryPolicy] = "retry-next-segment",
+        energy_model: Optional[EnergyModel] = None,
+        cache_packets: int = 0,
+        index_kind: str = "?",
+    ) -> None:
+        self.client = UnreliableBroadcastClient(
+            paged_index,
+            schedule,
+            error_model=error_model,
+            policy=policy,
+            energy_model=energy_model,
+            cache_packets=cache_packets,
+        )
+        self.schedule = schedule
+        self.index_kind = index_kind
+
+    def run(
+        self,
+        workload,
+        issue_times: Optional[Sequence[float]] = None,
+        seed: int = 0,
+    ) -> SimulationReport:
+        """Simulate every query of *workload*.
+
+        Issue times default to uniform-random instants from
+        ``random.Random(seed)`` — the exact stream of the batched
+        engine's :meth:`~repro.engine.QueryEngine.run`.  The channel's
+        rng is re-derived from the seed, so repeated calls with one seed
+        replay the identical fault schedule.
+        """
+        points = _workload_points(workload)
+        n = len(points)
+        if n == 0:
+            raise BroadcastError("need at least one query point")
+        if issue_times is None:
+            rng = random.Random(seed)
+            issue_times = [
+                rng.uniform(0, self.schedule.cycle_length) for _ in range(n)
+            ]
+        elif len(issue_times) != n:
+            raise BroadcastError(
+                f"{len(issue_times)} issue times for {n} query points"
+            )
+        # Independent, reproducible channel stream: a fresh rng seeded
+        # from the run seed but offset so it never mirrors issue times.
+        self.client.error_model.reset(random.Random(f"channel:{seed}"))
+
+        results: List[SimAccessResult] = [
+            self.client.query(point, t) for point, t in zip(points, issue_times)
+        ]
+        return SimulationReport(
+            index_kind=self.index_kind,
+            policy=self.client.policy.name,
+            error_model=repr(self.client.error_model),
+            issue_times=np.asarray(issue_times, np.float64),
+            region_ids=np.fromiter(
+                (r.region_id for r in results), np.int64, count=n
+            ),
+            access_latency=np.fromiter(
+                (r.access_latency for r in results), np.float64, count=n
+            ),
+            tuning_time=np.fromiter(
+                (r.total_tuning_time for r in results), np.int64, count=n
+            ),
+            energy_joules=np.fromiter(
+                (r.energy_joules for r in results), np.float64, count=n
+            ),
+            packet_losses=np.fromiter(
+                (r.packet_losses for r in results), np.int64, count=n
+            ),
+            read_attempts=np.fromiter(
+                (r.read_attempts for r in results), np.int64, count=n
+            ),
+        )
+
+
+def simulate_workload(
+    paged_index: PagedIndex,
+    region_ids: Sequence[int],
+    params: SystemParameters,
+    workload,
+    *,
+    error_rate: float = 0.0,
+    error_model: Union[str, ErrorModel] = "bernoulli",
+    mean_burst: float = 4.0,
+    policy: Union[str, RecoveryPolicy] = "retry-next-segment",
+    energy_model: Optional[EnergyModel] = None,
+    cache_packets: int = 0,
+    seed: int = 0,
+    m: Optional[int] = None,
+    schedule=None,
+    index_kind: str = "?",
+) -> SimulationReport:
+    """Faulty-channel counterpart of :func:`repro.engine.evaluate_workload`.
+
+    Builds the flat (1, m) schedule unless one is provided, instantiates
+    the error model by name at *error_rate*, and runs the whole workload
+    through the :class:`ChannelSimulator`.
+    """
+    points = _workload_points(workload)
+    if not points:
+        raise BroadcastError("need at least one query point")
+    if schedule is None:
+        schedule = BroadcastSchedule(
+            index_packet_count=len(paged_index.packets),
+            region_ids=list(region_ids),
+            params=params,
+            m=m,
+        )
+    elif schedule.index_packet_count != len(paged_index.packets):
+        raise BroadcastError(
+            "provided schedule was built for a different index size"
+        )
+    if isinstance(error_model, str):
+        error_model = make_error_model(error_model, error_rate, mean_burst)
+    simulator = ChannelSimulator(
+        paged_index,
+        schedule,
+        error_model=error_model,
+        policy=policy,
+        energy_model=energy_model,
+        cache_packets=cache_packets,
+        index_kind=index_kind,
+    )
+    return simulator.run(points, seed=seed)

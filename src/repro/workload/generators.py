@@ -42,10 +42,19 @@ class QueryWorkload:
 
 
 def uniform_workload(
-    subdivision: Subdivision, n: int, seed: int = 0
+    subdivision: Subdivision,
+    n: int,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
 ) -> QueryWorkload:
-    """The paper's model: locations uniform over the service area."""
-    rng = random.Random(seed)
+    """The paper's model: locations uniform over the service area.
+
+    All generators accept an injected *rng* so a caller can share one
+    seeded stream across every stochastic component of a run; when
+    omitted a fresh ``random.Random(seed)`` is used.
+    """
+    if rng is None:
+        rng = random.Random(seed)
     return QueryWorkload(
         "uniform", [subdivision.random_point(rng) for _ in range(n)]
     )
@@ -57,11 +66,13 @@ def hotspot_workload(
     centers: Sequence[Tuple[float, float]],
     spread: float = 0.08,
     seed: int = 0,
+    rng: Optional[random.Random] = None,
 ) -> QueryWorkload:
     """Gaussian query hotspots, rejected to the service area."""
     if not centers:
         raise ReproError("hotspot workload needs at least one center")
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     area = subdivision.service_area
     points: List[Point] = []
     attempts = 0
@@ -82,6 +93,7 @@ def zipf_region_workload(
     theta: float = 0.8,
     seed: int = 0,
     region_order: Optional[Sequence[int]] = None,
+    rng: Optional[random.Random] = None,
 ) -> QueryWorkload:
     """Zipf-popular regions; each query uniform inside its region.
 
@@ -90,7 +102,8 @@ def zipf_region_workload(
     """
     if theta < 0:
         raise ReproError(f"theta must be >= 0, got {theta}")
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     order = list(region_order) if region_order is not None else list(
         subdivision.region_ids
     )

@@ -1,0 +1,195 @@
+"""Direct unit tests for repro.engine.trace (the batched tracers).
+
+The integration suites exercise the tracers through the query engine;
+these tests pin down the module's own contracts: TraceBatch shape,
+batched-vs-scalar agreement per family, the shared-prefix optimisation
+of the D-tree tracer, the forward-only channel assertion, and the
+registry dispatch (exact class, subclass via MRO, generic fallback).
+"""
+
+import numpy as np
+import pytest
+
+from repro.broadcast.packets import QueryTrace, dedupe_consecutive
+from repro.engine import batched_trace, index_family, register_tracer
+from repro.engine.trace import (
+    TRACER_REGISTRY,
+    TraceBatch,
+    _check_forward,
+    _trace_batch_generic,
+)
+from repro.errors import BroadcastError
+
+from tests.conftest import random_points_in
+
+ALL_KINDS = ("dtree", "trian", "trap", "rstar")
+
+
+@pytest.fixture(scope="module", params=ALL_KINDS)
+def paged(request, voronoi60):
+    family = index_family(request.param)
+    params = family.parameters(packet_capacity=256)
+    return family.build(voronoi60, seed=3).page(params)
+
+
+class FakePaged:
+    """Minimal PagedIndex stand-in with scripted traces."""
+
+    packets = []
+
+    def __init__(self, traces):
+        self._traces = list(traces)
+        self._cursor = 0
+
+    def trace(self, point):
+        trace = self._traces[self._cursor % len(self._traces)]
+        self._cursor += 1
+        return trace
+
+
+class TestTraceBatch:
+    def test_construction_and_len(self):
+        batch = TraceBatch(
+            region_ids=np.array([1, 2], np.int64),
+            last_packet=np.array([3, 0], np.int64),
+            tuning_time=np.array([2, 0], np.int64),
+        )
+        assert len(batch) == 2
+        assert "n=2" in repr(batch)
+
+
+class TestBatchedVsScalar:
+    def test_matches_per_point_trace(self, paged, voronoi60):
+        points = random_points_in(voronoi60, 120, seed=17)
+        batch = batched_trace(paged, points)
+        for i, point in enumerate(points):
+            trace = paged.trace(point)
+            accessed = trace.packets_accessed
+            assert batch.region_ids[i] == trace.region_id
+            assert batch.last_packet[i] == (accessed[-1] if accessed else 0)
+            assert batch.tuning_time[i] == trace.tuning_time
+
+    def test_generic_fallback_matches_too(self, paged, voronoi60):
+        points = random_points_in(voronoi60, 40, seed=18)
+        batch = batched_trace(paged, points)
+        generic = _trace_batch_generic(paged, points)
+        assert np.array_equal(batch.region_ids, generic.region_ids)
+        assert np.array_equal(batch.last_packet, generic.last_packet)
+        assert np.array_equal(batch.tuning_time, generic.tuning_time)
+
+
+class TestSharedPrefixReuse:
+    def test_identical_points_materialise_one_path(
+        self, voronoi60, monkeypatch
+    ):
+        # The D-tree tracer interns packet paths: N copies of one point
+        # must run the per-path finalisation (forward check) exactly once.
+        family = index_family("dtree")
+        paged = family.build(voronoi60, seed=3).page(
+            family.parameters(packet_capacity=256)
+        )
+        point = random_points_in(voronoi60, 1, seed=19)[0]
+        calls = []
+        from repro.engine import trace as trace_mod
+
+        original = trace_mod._check_forward
+        monkeypatch.setattr(
+            trace_mod,
+            "_check_forward",
+            lambda accessed: (calls.append(1), original(accessed))[1],
+        )
+        batch = batched_trace(paged, [point] * 50)
+        assert len(batch) == 50
+        assert len(calls) == 1
+
+    def test_distinct_paths_share_common_prefixes(self, voronoi60):
+        # Sanity: many distinct points still collapse to far fewer
+        # finalised paths than queries (the tree has bounded leaf count).
+        family = index_family("dtree")
+        paged = family.build(voronoi60, seed=3).page(
+            family.parameters(packet_capacity=256)
+        )
+        points = random_points_in(voronoi60, 200, seed=20)
+        batch = batched_trace(paged, points)
+        distinct = {
+            (batch.last_packet[i], batch.tuning_time[i], batch.region_ids[i])
+            for i in range(len(points))
+        }
+        assert len(distinct) < len(points)
+
+
+class TestForwardOnlyAssertion:
+    def test_check_forward_accepts_monotone(self):
+        _check_forward([])
+        _check_forward([0])
+        _check_forward([0, 0, 3, 7])
+
+    def test_check_forward_rejects_backwards(self):
+        with pytest.raises(BroadcastError, match="moved backwards"):
+            _check_forward([0, 4, 2])
+
+    def test_batched_trace_rejects_backwards_trace(self):
+        fake = FakePaged([QueryTrace(region_id=1, packets_accessed=[5, 2])])
+        with pytest.raises(BroadcastError, match="moved backwards"):
+            batched_trace(fake, [object()])
+
+
+class TestRegistryDispatch:
+    def test_register_tracer_wins_over_fallback(self):
+        sentinel = TraceBatch(
+            np.array([9], np.int64),
+            np.array([0], np.int64),
+            np.array([0], np.int64),
+        )
+
+        class Custom(FakePaged):
+            pass
+
+        register_tracer(Custom, lambda paged, points: sentinel)
+        try:
+            fake = Custom([QueryTrace(region_id=1, packets_accessed=[0])])
+            assert batched_trace(fake, [object()]) is sentinel
+        finally:
+            TRACER_REGISTRY.pop(Custom, None)
+
+    def test_dispatch_walks_the_mro(self):
+        sentinel = TraceBatch(
+            np.array([9], np.int64),
+            np.array([0], np.int64),
+            np.array([0], np.int64),
+        )
+
+        class Base(FakePaged):
+            pass
+
+        class Derived(Base):
+            pass
+
+        register_tracer(Base, lambda paged, points: sentinel)
+        try:
+            fake = Derived([QueryTrace(region_id=1, packets_accessed=[0])])
+            assert batched_trace(fake, [object()]) is sentinel
+        finally:
+            TRACER_REGISTRY.pop(Base, None)
+
+    def test_unregistered_class_uses_generic_fallback(self):
+        fake = FakePaged(
+            [QueryTrace(region_id=3, packets_accessed=[0, 2, 2, 5])]
+        )
+        batch = batched_trace(fake, [object()])
+        assert batch.region_ids[0] == 3
+        assert batch.last_packet[0] == 5
+        assert batch.tuning_time[0] == 3  # distinct packets 0, 2, 5
+
+
+class TestDedupeConsecutive:
+    def test_collapses_runs_only(self):
+        assert dedupe_consecutive([]) == []
+        assert dedupe_consecutive([4, 4, 4]) == [4]
+        assert dedupe_consecutive([0, 0, 1, 1, 0]) == [0, 1, 0]
+
+    def test_empty_trace_has_zero_tuning(self):
+        fake = FakePaged([QueryTrace(region_id=2, packets_accessed=[])])
+        batch = batched_trace(fake, [object()])
+        assert batch.last_packet[0] == 0
+        assert batch.tuning_time[0] == 0

@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.workload",
     "repro.experiments",
     "repro.analysis",
+    "repro.simulation",
 ]
 
 
