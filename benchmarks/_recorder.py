@@ -1,0 +1,79 @@
+"""Machine-readable benchmark results recorder.
+
+Collects median milliseconds per (suite, case) during a benchmark run
+and flushes one committed ``BENCH_<suite>.json`` per suite at session
+end — median ms per case plus the python/numpy/platform fingerprint —
+so performance history travels with the code and CI can archive the
+numbers as workflow artifacts.
+
+Lives in its own module (not ``conftest.py``) so the benchmark files
+and pytest's conftest loader share the same record store: pytest
+imports ``conftest.py`` by path under its own module name, and a
+``from benchmarks.conftest import ...`` in a benchmark file would get a
+second, empty copy.
+"""
+
+import json
+import pathlib
+import platform
+import statistics
+import time
+
+import numpy as np
+
+#: Repo root (benchmarks/ lives directly under it) — where the
+#: ``BENCH_<suite>.json`` files are written.
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: suite name -> {case name -> median milliseconds}, filled by
+#: :func:`run_recorded` / :func:`record_case` and flushed by
+#: :func:`flush_records`.
+_RECORDS = {}
+
+
+def run_recorded(benchmark, fn, suite, case, rounds=1):
+    """Time *fn* through pytest-benchmark AND record its median.
+
+    Runs ``rounds`` rounds of one iteration each (no warmup — the cells
+    here are milliseconds-to-seconds scale and the suite must stay
+    minutes-long), records the median round in ``BENCH_<suite>.json``
+    under *case*, and returns *fn*'s result like ``benchmark.pedantic``.
+    """
+    durations = []
+
+    def timed():
+        start = time.perf_counter()
+        result = fn()
+        durations.append(time.perf_counter() - start)
+        return result
+
+    result = benchmark.pedantic(timed, rounds=rounds, iterations=1, warmup_rounds=0)
+    record_case(suite, case, statistics.median(durations) * 1000.0)
+    return result
+
+
+def record_case(suite, case, median_ms):
+    """Record one case's median milliseconds for the session-end flush."""
+    _RECORDS.setdefault(suite, {})[case] = round(median_ms, 4)
+
+
+def _metadata():
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+def flush_records():
+    """Write one ``BENCH_<suite>.json`` per suite that actually ran."""
+    for suite, cases in _RECORDS.items():
+        payload = {
+            "suite": suite,
+            "unit": "median_ms",
+            "metadata": _metadata(),
+            "cases": dict(sorted(cases.items())),
+        }
+        path = REPO_ROOT / f"BENCH_{suite}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")

@@ -20,7 +20,7 @@ from repro.broadcast.metrics import evaluate_index_per_query
 from repro.datasets.catalog import uniform_dataset
 from repro.engine import evaluate_workload, index_family
 
-from benchmarks.conftest import run_once
+from _recorder import record_case, run_recorded
 
 WORKLOAD_SIZES = (100, 1_000, 10_000)
 
@@ -59,11 +59,14 @@ def bench_engine_batched(benchmark, subdivision, cells, kind, n):
     paged, params = cells[kind]
     points = _points(subdivision, n)
 
-    summary = run_once(
+    summary = run_recorded(
         benchmark,
         lambda: evaluate_workload(
             paged, subdivision.region_ids, params, points, seed=3
         ).summary(subdivision.region_ids, params),
+        "engine",
+        f"batched-{kind}-{n}",
+        rounds=3,
     )
     assert summary.queries == n
 
@@ -73,11 +76,13 @@ def bench_engine_per_query(benchmark, subdivision, cells, kind, n):
     paged, params = cells[kind]
     points = _points(subdivision, n)
 
-    summary = run_once(
+    summary = run_recorded(
         benchmark,
         lambda: evaluate_index_per_query(
             paged, subdivision.region_ids, params, points, seed=3
         ),
+        "engine",
+        f"per_query-{kind}-{n}",
     )
     assert summary.queries == n
 
@@ -100,7 +105,8 @@ def bench_engine_speedup_dtree_10k(benchmark, subdivision, cells):
     start = time.perf_counter()
     summary = batched()
     batched_s = time.perf_counter() - start
-    run_once(benchmark, batched)
+    run_recorded(benchmark, batched, "engine", "speedup-dtree-10000-batched")
+    record_case("engine", "speedup-dtree-10000-per_query", legacy_s * 1000.0)
 
     assert summary.mean_access_latency == legacy.mean_access_latency
     assert summary.mean_index_tuning == legacy.mean_index_tuning

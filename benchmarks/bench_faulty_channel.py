@@ -15,7 +15,7 @@ from repro.datasets.catalog import uniform_dataset
 from repro.engine import index_family
 from repro.simulation import simulate_workload
 
-from benchmarks.conftest import run_once
+from conftest import run_once
 
 ALL_KINDS = ("dtree", "trian", "trap", "rstar")
 ERROR_RATES = (0.0, 0.01, 0.05, 0.1)

@@ -1,0 +1,233 @@
+"""Vectorized geometry kernels vs their scalar counterparts.
+
+Two acceptance bars, asserted (not just printed) so a regression fails
+the benchmark suite:
+
+* ``CompiledSubdivision.locate_batch`` >= 10x a per-point
+  ``Subdivision.locate`` loop at 10_000 points;
+* the kernel-based D-tree tracer makes end-to-end
+  :func:`~repro.engine.evaluate_workload` >= 1.5x the PR 1 batched
+  path (the ``_trace_batch_dtree_reference`` tracer plus the old
+  per-query issue-time draws) at 10_000 queries.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kernels.py --benchmark-only
+
+CI smoke mode (``REPRO_BENCH_SMOKE=1``) runs only the 1_000-point sizes
+and skips the 10k-specific speedup assertions, keeping the step seconds
+long while still producing a ``BENCH_kernels.json`` artifact.
+"""
+
+import os
+import random
+import time
+
+import pytest
+
+from repro.broadcast.schedule import BroadcastSchedule
+from repro.core.paging import PagedDTree
+from repro.datasets.catalog import uniform_dataset
+from repro.engine import evaluate_workload, index_family, register_tracer
+from repro.engine.trace import _trace_batch_dtree_reference
+
+from _recorder import record_case, run_recorded
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+POINT_SIZES = (1_000,) if SMOKE else (1_000, 10_000)
+
+
+class _ReferencePagedDTree(PagedDTree):
+    """A PagedDTree that dispatches to the PR 1 reference tracer."""
+
+
+register_tracer(_ReferencePagedDTree, _trace_batch_dtree_reference)
+
+
+@pytest.fixture(scope="module")
+def subdivision():
+    return uniform_dataset(n=200, seed=42).subdivision
+
+
+@pytest.fixture(scope="module")
+def dtree_cell(subdivision):
+    family = index_family("dtree")
+    params = family.parameters(packet_capacity=256)
+    return family.build(subdivision, seed=7).page(params), params
+
+
+def _points(subdivision, n, seed=0):
+    rng = random.Random(seed)
+    return subdivision.random_points(n, rng)
+
+
+@pytest.mark.parametrize("n", POINT_SIZES)
+def bench_locate_scalar(benchmark, subdivision, n):
+    points = _points(subdivision, n)
+    ids = run_recorded(
+        benchmark,
+        lambda: [subdivision.locate(p) for p in points],
+        "kernels",
+        f"locate_scalar-{n}",
+    )
+    assert len(ids) == n
+
+
+@pytest.mark.parametrize("n", POINT_SIZES)
+def bench_locate_batch(benchmark, subdivision, n):
+    compiled = subdivision.compiled()  # build outside the timed region
+    points = _points(subdivision, n)
+    ids = run_recorded(
+        benchmark,
+        lambda: compiled.locate_batch(points),
+        "kernels",
+        f"locate_batch-{n}",
+        rounds=3,
+    )
+    assert len(ids) == n
+
+
+def bench_locate_batch_speedup_10k(benchmark, subdivision):
+    """Acceptance bar: locate_batch >= 10x the scalar loop at 10k points."""
+    if SMOKE:
+        pytest.skip("smoke mode runs 1k sizes only")
+    n = 10_000
+    points = _points(subdivision, n)
+    compiled = subdivision.compiled()
+
+    # Best of 3 per side: the batch call is milliseconds-scale and its
+    # first run pays one-off allocation costs.
+    scalar_ids = [subdivision.locate(p) for p in points]
+    scalar_s = min(
+        _timed(lambda: [subdivision.locate(p) for p in points])
+        for _ in range(3)
+    )
+    batch_ids = compiled.locate_batch(points)
+    batch_s = min(
+        _timed(lambda: compiled.locate_batch(points)) for _ in range(3)
+    )
+    run_recorded(
+        benchmark,
+        lambda: compiled.locate_batch(points),
+        "kernels",
+        "locate_speedup-10000-batch",
+        rounds=3,
+    )
+    record_case("kernels", "locate_speedup-10000-scalar", scalar_s * 1000.0)
+
+    assert batch_ids.tolist() == scalar_ids
+    speedup = scalar_s / batch_s
+    print(
+        f"\n[locate @ 10k points] scalar {scalar_s:.3f}s, "
+        f"batch {batch_s:.3f}s -> {speedup:.1f}x"
+    )
+    assert speedup >= 10.0, f"locate_batch only {speedup:.1f}x the scalar loop"
+
+
+def _reference_evaluate(paged, region_ids, params, points, seed=3):
+    """The PR 1 batched path: reference D-tree tracer (partition segment
+    arrays rebuilt per call) + per-query ``rng.uniform`` issue draws."""
+    from repro.engine.batch import QueryEngine
+
+    schedule = BroadcastSchedule(
+        index_packet_count=len(paged.packets),
+        region_ids=list(region_ids),
+        params=params,
+    )
+    engine = QueryEngine(paged, schedule)
+    rng = random.Random(seed)
+    issue_times = [rng.uniform(0, schedule.cycle_length) for _ in points]
+    return engine.run(points, issue_times=issue_times)
+
+
+@pytest.mark.parametrize("n", POINT_SIZES)
+def bench_dtree_e2e_kernel(benchmark, subdivision, dtree_cell, n):
+    paged, params = dtree_cell
+    points = _points(subdivision, n)
+    result = run_recorded(
+        benchmark,
+        lambda: evaluate_workload(
+            paged, subdivision.region_ids, params, points, seed=3
+        ),
+        "kernels",
+        f"dtree_e2e_kernel-{n}",
+        rounds=3,
+    )
+    assert len(result) == n
+
+
+@pytest.mark.parametrize("n", POINT_SIZES)
+def bench_dtree_e2e_pr1(benchmark, subdivision, dtree_cell, n):
+    paged, params = dtree_cell
+    reference = _as_reference(paged)
+    points = _points(subdivision, n)
+    result = run_recorded(
+        benchmark,
+        lambda: _reference_evaluate(
+            reference, subdivision.region_ids, params, points
+        ),
+        "kernels",
+        f"dtree_e2e_pr1-{n}",
+        rounds=3,
+    )
+    assert len(result) == n
+
+
+def _as_reference(paged):
+    """A shallow re-classed view of *paged* dispatching to the PR 1 tracer."""
+    import copy
+
+    reference = copy.copy(paged)
+    reference.__class__ = _ReferencePagedDTree
+    return reference
+
+
+def bench_dtree_e2e_speedup_10k(benchmark, subdivision, dtree_cell):
+    """Acceptance bar: kernel tracer >= 1.5x the PR 1 batched path at 10k."""
+    if SMOKE:
+        pytest.skip("smoke mode runs 1k sizes only")
+    n = 10_000
+    paged, params = dtree_cell
+    reference = _as_reference(paged)
+    region_ids = subdivision.region_ids
+    points = _points(subdivision, n)
+
+    # Median of 3 per side: both paths are milliseconds-scale here, and a
+    # single stray scheduler tick would otherwise decide the assertion.
+    pr1_s = min(
+        _timed(lambda: _reference_evaluate(reference, region_ids, params, points))
+        for _ in range(3)
+    )
+    kernel_s = min(
+        _timed(
+            lambda: evaluate_workload(paged, region_ids, params, points, seed=3)
+        )
+        for _ in range(3)
+    )
+    run_recorded(
+        benchmark,
+        lambda: evaluate_workload(paged, region_ids, params, points, seed=3),
+        "kernels",
+        "dtree_e2e_speedup-10000-kernel",
+        rounds=3,
+    )
+    record_case("kernels", "dtree_e2e_speedup-10000-pr1", pr1_s * 1000.0)
+
+    kernel = evaluate_workload(paged, region_ids, params, points, seed=3)
+    pr1 = _reference_evaluate(reference, region_ids, params, points)
+    assert kernel.region_ids.tolist() == pr1.region_ids.tolist()
+    assert kernel.access_latency.tolist() == pr1.access_latency.tolist()
+    assert kernel.index_tuning_time.tolist() == pr1.index_tuning_time.tolist()
+
+    speedup = pr1_s / kernel_s
+    print(
+        f"\n[dtree e2e @ 10k queries] PR1 batched {pr1_s*1000:.1f}ms, "
+        f"kernel {kernel_s*1000:.1f}ms -> {speedup:.2f}x"
+    )
+    assert speedup >= 1.5, f"kernel tracer only {speedup:.2f}x the PR 1 path"
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

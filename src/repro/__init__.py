@@ -66,7 +66,7 @@ from repro.broadcast import (
     evaluate_index_per_query,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: Engine names resolved lazily (PEP 562): ``repro.engine`` imports the
 #: index families, which import the broadcast substrate, so an eager

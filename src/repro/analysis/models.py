@@ -28,10 +28,13 @@ def dtree_index_bytes(paged: PagedDTree) -> int:
 
 
 def _subtree_areas(tree: DTree) -> Dict[int, float]:
-    """node_id -> total region area under the node."""
-    region_area = {
-        r.region_id: r.polygon.area for r in tree.subdivision.regions
-    }
+    """node_id -> total region area under the node.
+
+    Region areas come from the subdivision's cached compiled form
+    (:meth:`~repro.geometry.kernels.CompiledSubdivision.area_by_id`),
+    whose shoelace sums are bit-identical to ``Polygon.area``.
+    """
+    region_area = tree.subdivision.compiled().area_by_id()
     areas: Dict[int, float] = {}
 
     def walk(child) -> float:

@@ -25,7 +25,7 @@ bit, to the legacy per-query path (property-tested in
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -47,6 +47,19 @@ Workload = Union[QueryWorkload, Sequence[Point]]
 
 def _workload_points(workload: Workload) -> Sequence[Point]:
     return workload.points if isinstance(workload, QueryWorkload) else workload
+
+
+def _uniform_issue_times(rng: random.Random, n: int, length: float) -> np.ndarray:
+    """*n* draws of ``rng.uniform(0, length)`` as one float64 array.
+
+    ``uniform(0, b)`` is ``0.0 + (b - 0.0) * random()``, which for the
+    positive cycle length reduces to ``b * random()`` under IEEE-754, so
+    scaling a raw ``random()`` array is bit-identical to the per-query
+    draws — and consumes the rng stream identically (one ``random()``
+    per query).
+    """
+    draws = np.fromiter((rng.random() for _ in range(n)), np.float64, count=n)
+    return draws * float(length)
 
 
 class BatchResult:
@@ -207,15 +220,15 @@ class QueryEngine:
         if n == 0:
             raise BroadcastError("need at least one query point")
         if issue_times is None:
-            rng = random.Random(seed)
-            issue_times = [
-                rng.uniform(0, self.schedule.cycle_length) for _ in range(n)
-            ]
+            times = _uniform_issue_times(
+                random.Random(seed), n, self.schedule.cycle_length
+            )
         elif len(issue_times) != n:
             raise BroadcastError(
                 f"{len(issue_times)} issue times for {n} query points"
             )
-        times = np.asarray(issue_times, np.float64)
+        else:
+            times = np.asarray(issue_times, np.float64)
 
         traces = batched_trace(self.paged_index, points)
 
@@ -292,8 +305,7 @@ def evaluate_workload(
             "provided schedule was built for a different index size"
         )
     engine = QueryEngine(paged_index, schedule)
-    rng = random.Random(seed)
-    issue_times: List[float] = [
-        rng.uniform(0, schedule.cycle_length) for _ in points
-    ]
+    issue_times = _uniform_issue_times(
+        random.Random(seed), len(points), schedule.cycle_length
+    )
     return engine.run(points, issue_times=issue_times)

@@ -7,17 +7,28 @@ containing region, the last index packet read and the tuning time — while
 guaranteeing results identical to the per-query path:
 
 * **D-tree** — shared traversal: all queries descend the tree together,
-  splitting at each node with numpy-vectorized D1/D3 exclusive-zone tests
-  and a vectorized ray-parity test for the interlocking zone.  Queries
-  that follow the same packet path share one *prefix* record, so the
-  per-query Python bookkeeping of the scalar path disappears entirely.
-* **R*-tree** — batched DFS with numpy-vectorized MBR containment at
-  every node; the exact leaf polygon test reuses the scalar predicate so
-  boundary semantics cannot drift.
+  splitting at each node with one
+  :class:`~repro.geometry.kernels.CompiledPartition` side test (D1/D3
+  exclusive zones plus the vectorized ray-parity test for the
+  interlocking zone).  The partitions are compiled to flat segment
+  arrays once per paged tree and cached, and queries that follow the
+  same packet path share one interned *prefix*, so the per-query Python
+  bookkeeping of the scalar path disappears entirely.
+* **R*-tree** — batched DFS over a compiled node layout: MBR
+  containment runs as one structure-of-arrays matrix test per node
+  (:func:`~repro.geometry.kernels.mbrs_contain_batch`) and the exact
+  leaf test uses the region's cached
+  :class:`~repro.geometry.kernels.CompiledPolygon`, whose boundary
+  semantics equal the scalar predicate bit for bit.
 * **anything else** — a per-point fallback over the index's own
   ``trace``, so third-party families registered via
   :func:`repro.engine.register_index` work unchanged; they can opt into
   batching with :func:`register_tracer`.
+
+The PR 1 tracers (pure-Python per-node loops, no compiled caches) are
+kept as ``*_reference`` functions: they are the regression oracle the
+kernel tracers are property-tested against, and the baseline the
+``benchmarks/bench_kernels.py`` speedup assertions compare to.
 
 Every tracer applies the same forward-only channel check as
 :class:`repro.broadcast.client.BroadcastClient`.
@@ -31,6 +42,11 @@ import numpy as np
 
 from repro.errors import BroadcastError, QueryError
 from repro.broadcast.packets import PagedIndex, dedupe_consecutive
+from repro.geometry.kernels import (
+    CompiledPartition,
+    mbrs_contain_batch,
+    point_coords,
+)
 from repro.geometry.point import Point
 
 
@@ -105,13 +121,6 @@ def _check_forward(accessed: List[int]) -> None:
         )
 
 
-def _coords(points: Sequence[Point]):
-    n = len(points)
-    xs = np.fromiter((p.x for p in points), np.float64, count=n)
-    ys = np.fromiter((p.y for p in points), np.float64, count=n)
-    return xs, ys
-
-
 # -- generic fallback -------------------------------------------------------
 
 
@@ -133,7 +142,426 @@ def _trace_batch_generic(
     return TraceBatch(regions, last, tuning)
 
 
-# -- D-tree: shared prefix traversal ---------------------------------------
+# -- D-tree: shared prefix traversal over compiled partitions ----------------
+
+
+class _CompiledDTree:
+    """The whole paged D-tree flattened to structure-of-arrays form.
+
+    Every per-node attribute the descent needs — partition bounds,
+    partition bucket (dimension x described side), slice of the shared
+    segment pool, packet-span charging constants, child codes — lives in
+    one array indexed by ``node_id``, so the traversal advances a whole
+    frontier with gathers instead of touching Python node objects.
+    Child codes are the child's ``node_id`` for internal children and
+    ``~region_id`` (always negative) for data pointers.
+    """
+
+    __slots__ = (
+        "root",
+        "dim_y",
+        "described",
+        "bucket",
+        "first_bound",
+        "second_bound",
+        "seg_start",
+        "seg_count",
+        "left_code",
+        "right_code",
+        "pkt_first",
+        "pkt_last",
+        "pkt_distinct",
+        "multi",
+        "span_bad",
+        "seg_ax",
+        "seg_ay",
+        "seg_bx",
+        "seg_by",
+    )
+
+
+def _compile_dtree(paged) -> _CompiledDTree:
+    """Compile the paged D-tree, built once per paged tree and cached.
+
+    Packet charging is reduced to three constants per node (first
+    packet, last packet, distinct-packet count): with the forward-only
+    channel invariant, equal packets in a trace are always consecutive,
+    so ``len(set(path))`` accumulates as distinct-per-span minus a
+    duplicate adjustment where one span's first packet equals the
+    previous span's last.  ``span_bad`` marks nodes whose own packet
+    span moves backwards; the tracer defers to the reference
+    implementation to raise the scalar path's exact error.
+    """
+    compiled = getattr(paged, "_compiled_dtree", None)
+    if compiled is not None:
+        return compiled
+    from repro.core.dtree import DTreeNode
+
+    nodes = sorted(paged.tree.iter_nodes(), key=lambda nd: nd.node_id)
+    count = len(nodes)
+    if [nd.node_id for nd in nodes] != list(range(count)):
+        raise QueryError("paged D-tree node ids are not dense — rebuild it")
+
+    ct = _CompiledDTree()
+    ct.root = paged.tree.root.node_id
+    ct.dim_y = np.empty(count, bool)
+    ct.described = np.empty(count, bool)
+    ct.bucket = np.empty(count, np.int8)
+    ct.first_bound = np.empty(count, np.float64)
+    ct.second_bound = np.empty(count, np.float64)
+    ct.seg_start = np.empty(count, np.int64)
+    ct.seg_count = np.empty(count, np.int64)
+    ct.left_code = np.empty(count, np.int64)
+    ct.right_code = np.empty(count, np.int64)
+    ct.pkt_first = np.empty(count, np.int64)
+    ct.pkt_last = np.empty(count, np.int64)
+    ct.pkt_distinct = np.empty(count, np.int64)
+    ct.multi = np.empty(count, bool)
+    ct.span_bad = np.empty(count, bool)
+
+    segs: List[List[np.ndarray]] = [[], [], [], []]
+    offset = 0
+    for i, node in enumerate(nodes):
+        partition = CompiledPartition(node.partition)
+        ct.dim_y[i] = partition.dim_y
+        ct.described[i] = partition.described_first
+        ct.bucket[i] = (0 if partition.dim_y else 2) + (
+            0 if partition.described_first else 1
+        )
+        ct.first_bound[i] = partition.first_bound
+        ct.second_bound[i] = partition.second_bound
+        ct.seg_start[i] = offset
+        ct.seg_count[i] = len(partition.ax)
+        offset += len(partition.ax)
+        for pool, arr in zip(segs, (partition.ax, partition.ay, partition.bx, partition.by)):
+            pool.append(arr)
+        packets = list(paged._node_packets[node.node_id])
+        ct.pkt_first[i] = packets[0]
+        ct.pkt_last[i] = packets[-1]
+        ct.pkt_distinct[i] = len(set(packets))
+        ct.multi[i] = len(packets) > 1
+        ct.span_bad[i] = any(b < a for a, b in zip(packets, packets[1:]))
+        for code_arr, child in ((ct.left_code, node.left), (ct.right_code, node.right)):
+            code_arr[i] = (
+                child.node_id if isinstance(child, DTreeNode) else ~int(child)
+            )
+
+    empty = np.zeros(0, np.float64)
+    ct.seg_ax, ct.seg_ay, ct.seg_bx, ct.seg_by = (
+        np.concatenate(pool) if pool else empty for pool in segs
+    )
+    paged._compiled_dtree = ct
+    return ct
+
+
+def _pair_parity(
+    ct: _CompiledDTree,
+    bucket: int,
+    nd: np.ndarray,
+    ex: np.ndarray,
+    ey: np.ndarray,
+) -> np.ndarray:
+    """Ray-parity side decisions for (node, point) pairs of one bucket.
+
+    Each pair expands to its node's slice of the shared segment pool,
+    the scalar ``Partition.side_of`` crossing expressions run once over
+    the flat pair-segment arrays (identical IEEE-754 operation order),
+    and ``reduceat`` folds the hits back per pair.  Returns the boolean
+    "first side" answer per pair.
+    """
+    pair_start = ct.seg_start[nd]
+    pair_count = ct.seg_count[nd]
+    offsets = np.cumsum(pair_count)
+    total = int(offsets[-1])
+    edge = np.repeat(pair_start - offsets + pair_count, pair_count) + np.arange(
+        total, dtype=np.int64
+    )
+    rep = np.repeat(np.arange(len(ex), dtype=np.int64), pair_count)
+    dim_y = bucket < 2
+    described = bucket % 2 == 0
+    # Only the few edges whose ray-coordinate range straddles the query
+    # contribute a crossing; compress to those before the expensive
+    # crossing-abscissa arithmetic (the straddle makes the divisor
+    # provably nonzero, so no division guard is needed).
+    if dim_y:
+        say = ct.seg_ay[edge]
+        sby = ct.seg_by[edge]
+        er = ey[rep]
+        straddle = np.flatnonzero((say > er) != (sby > er))
+        say = say[straddle]
+        sby = sby[straddle]
+        hit_rep = rep[straddle]
+        hit_edge = edge[straddle]
+        sax = ct.seg_ax[hit_edge]
+        sbx = ct.seg_bx[hit_edge]
+        eyc = ey[hit_rep]
+        t_at = sax + (eyc - say) / (sby - say) * (sbx - sax)
+        exc = ex[hit_rep]
+        hit = (t_at > exc) if described else (t_at < exc)
+    else:
+        sax = ct.seg_ax[edge]
+        sbx = ct.seg_bx[edge]
+        er = ex[rep]
+        straddle = np.flatnonzero((sax > er) != (sbx > er))
+        sax = sax[straddle]
+        sbx = sbx[straddle]
+        hit_rep = rep[straddle]
+        hit_edge = edge[straddle]
+        say = ct.seg_ay[hit_edge]
+        sby = ct.seg_by[hit_edge]
+        exc = ex[hit_rep]
+        t_at = say + (exc - sax) / (sbx - sax) * (sby - say)
+        eyc = ey[hit_rep]
+        hit = (t_at < eyc) if described else (t_at > eyc)
+    crossings = np.bincount(hit_rep[hit], minlength=len(ex))
+    odd = (crossings % 2).astype(bool)
+    return odd if described else ~odd
+
+
+def _materialize_prefixes(
+    n: int,
+    prefixes: List[tuple],
+    final_prefix: np.ndarray,
+    regions: np.ndarray,
+) -> TraceBatch:
+    """Expand each distinct packet path once and scatter last/tuning."""
+    memo: Dict[int, tuple] = {0: ()}
+
+    def full_path(pid: int) -> tuple:
+        known = memo.get(pid)
+        if known is None:
+            parent, appended = prefixes[pid]
+            known = full_path(parent) + appended
+            memo[pid] = known
+        return known
+
+    last = np.empty(n, np.int64)
+    tuning = np.empty(n, np.int64)
+    for pid in np.unique(final_prefix):
+        accessed = dedupe_consecutive(full_path(int(pid)))
+        _check_forward(accessed)
+        mask = final_prefix == pid
+        last[mask] = accessed[-1] if accessed else 0
+        tuning[mask] = len(set(accessed))
+    return TraceBatch(regions, last, tuning)
+
+
+def _trace_batch_dtree(paged, points: Sequence[Point]) -> TraceBatch:
+    """Level-synchronous traversal of the paged D-tree.
+
+    The whole frontier advances one tree level per iteration over flat
+    per-point state arrays (current node, last packet read, tuning so
+    far): the cheap D1/D3 exclusive-zone comparisons decide most points
+    with a handful of gathers, and the leftover interlocking-zone (D2)
+    points of the entire level are resolved by at most four
+    :func:`_pair_parity` ragged kernel calls — one per partition bucket
+    — instead of one broadcast per node.  Packet charging follows §4.4:
+    the first packet only, unless the node spans several packets and
+    the query needs the whole partition (D2, or early termination off);
+    tuning accumulates incrementally via the distinct-per-span
+    constants of :func:`_compile_dtree`, so no per-query packet path is
+    ever materialised.
+    """
+    tree = paged.tree
+    n = len(points)
+    if tree.root is None:
+        only = tree.subdivision.regions[0].region_id
+        zero = np.zeros(n, np.int64)
+        return TraceBatch(np.full(n, only, np.int64), zero, zero.copy())
+
+    xs, ys = point_coords(points)
+    ct = _compile_dtree(paged)
+    early = paged.early_termination
+    regions = np.empty(n, np.int64)
+    last_out = np.empty(n, np.int64)
+    tuning_out = np.empty(n, np.int64)
+
+    apt = np.arange(n)  # active point index
+    anode = np.full(n, ct.root, np.int64)  # current node per active point
+    alast = np.full(n, -1, np.int64)  # last packet read (-1 = none yet)
+    atun = np.zeros(n, np.int64)  # distinct packets read so far
+
+    while apt.size:
+        nd = anode
+        x = xs[apt]
+        y = ys[apt]
+
+        # Early D1/D3 exclusive-zone tests, both dimensions at once.
+        dim_y = ct.dim_y[nd]
+        first = np.where(dim_y, x <= ct.first_bound[nd], y >= ct.first_bound[nd])
+        interlocked = ~first & np.where(
+            dim_y, x < ct.second_bound[nd], y > ct.second_bound[nd]
+        )
+
+        if interlocked.any():
+            seg_count = ct.seg_count[nd]
+            zero_seg = interlocked & (seg_count == 0)
+            if zero_seg.any():
+                # Degenerate partition without boundary segments: the
+                # scalar parity test sees zero crossings (odd = False).
+                first[zero_seg] = ~ct.described[nd[zero_seg]]
+            d2 = np.flatnonzero(interlocked & (seg_count > 0))
+            if d2.size:
+                buckets = ct.bucket[nd[d2]]
+                for bucket in range(4):
+                    sel = d2[buckets == bucket]
+                    if sel.size:
+                        first[sel] = _pair_parity(
+                            ct, bucket, nd[sel], x[sel], y[sel]
+                        )
+
+        # Packet charging (§4.4).
+        pf = ct.pkt_first[nd]
+        use_long = ct.multi[nd] & interlocked if early else ct.multi[nd]
+        if (alast > pf).any() or ct.span_bad[nd].any():
+            # Backwards broadcast order: the reference tracer rebuilds
+            # the offending path and raises the scalar client's error.
+            _trace_batch_dtree_reference(paged, points)
+            raise BroadcastError(
+                "index traversal moved backwards on the broadcast channel"
+            )
+        atun += np.where(use_long, ct.pkt_distinct[nd], 1) - (alast == pf)
+        alast = np.where(use_long, ct.pkt_last[nd], pf)
+
+        # Descend: negative child codes are data pointers (~region_id).
+        code = np.where(first, ct.left_code[nd], ct.right_code[nd])
+        at_leaf = code < 0
+        if at_leaf.any():
+            done = apt[at_leaf]
+            regions[done] = ~code[at_leaf]
+            last_out[done] = alast[at_leaf]
+            tuning_out[done] = atun[at_leaf]
+            keep = ~at_leaf
+            apt = apt[keep]
+            anode = code[keep]
+            alast = alast[keep]
+            atun = atun[keep]
+        else:
+            anode = code
+
+    return TraceBatch(regions, last_out, tuning_out)
+
+
+# -- R*-tree: batched DFS over compiled nodes -------------------------------
+
+
+class _CompiledRStarNode:
+    """One R*-tree node flattened for the batched DFS."""
+
+    __slots__ = (
+        "packet",
+        "min_x",
+        "min_y",
+        "max_x",
+        "max_y",
+        "is_leaf",
+        "children",
+        "region_ids",
+        "shape_packets",
+        "polygons",
+    )
+
+
+def _compile_rstar(paged) -> "_CompiledRStarNode":
+    """Compile the paged R*-tree (node MBR arrays, shape-packet tuples,
+    compiled leaf polygons), built once and cached on the paged tree."""
+    compiled = getattr(paged, "_compiled_rstar", None)
+    if compiled is not None:
+        return compiled
+    subdivision = paged.tree.subdivision
+
+    def convert(node) -> _CompiledRStarNode:
+        cn = _CompiledRStarNode()
+        cn.packet = paged._node_packet[id(node)]
+        entries = node.entries
+        count = len(entries)
+        cn.min_x = np.fromiter((e.mbr.min_x for e in entries), np.float64, count)
+        cn.min_y = np.fromiter((e.mbr.min_y for e in entries), np.float64, count)
+        cn.max_x = np.fromiter((e.mbr.max_x for e in entries), np.float64, count)
+        cn.max_y = np.fromiter((e.mbr.max_y for e in entries), np.float64, count)
+        cn.is_leaf = node.is_leaf
+        if node.is_leaf:
+            cn.children = None
+            cn.region_ids = [e.region_id for e in entries]
+            cn.shape_packets = [
+                tuple(paged._shape_packets[e.region_id]) for e in entries
+            ]
+            cn.polygons = [
+                subdivision.region(e.region_id).polygon.compiled()
+                for e in entries
+            ]
+        else:
+            cn.children = [convert(e.child) for e in entries]
+            cn.region_ids = None
+            cn.shape_packets = None
+            cn.polygons = None
+        return cn
+
+    compiled = convert(paged.tree.root)
+    paged._compiled_rstar = compiled
+    return compiled
+
+
+def _trace_batch_rstar(paged, points: Sequence[Point]) -> TraceBatch:
+    """Batched DFS over the compiled paged R*-tree.
+
+    Point-in-MBR tests run as one structure-of-arrays matrix per node;
+    the exact polygon containment at the leaves (boundary semantics
+    included) uses the compiled polygon kernel on the few surviving
+    candidates.
+    """
+    n = len(points)
+    xs, ys = point_coords(points)
+    root = _compile_rstar(paged)
+    regions = np.full(n, -1, np.int64)
+    accesses: List[List[int]] = [[] for _ in range(n)]
+
+    def search(cn: _CompiledRStarNode, idxs: np.ndarray) -> None:
+        packet = cn.packet
+        for i in idxs.tolist():
+            accesses[i].append(packet)
+        inside = mbrs_contain_batch(
+            cn.min_x, cn.min_y, cn.max_x, cn.max_y, xs[idxs], ys[idxs]
+        )
+        unresolved = np.ones(idxs.size, bool)
+        for entry in range(inside.shape[0]):
+            if not unresolved.any():
+                break
+            local = np.flatnonzero(inside[entry] & unresolved)
+            if local.size == 0:
+                continue
+            candidates = idxs[local]
+            if cn.is_leaf:
+                shape_packets = cn.shape_packets[entry]
+                for qi in candidates.tolist():
+                    accesses[qi].extend(shape_packets)
+                hits = cn.polygons[entry].contains_batch(
+                    xs[candidates], ys[candidates]
+                )
+                regions[candidates[hits]] = cn.region_ids[entry]
+                unresolved[local[hits]] = False
+            else:
+                search(cn.children[entry], candidates)
+                unresolved[local] = regions[candidates] < 0
+
+    search(root, np.arange(n))
+    if (regions < 0).any():
+        missing = int(np.argmax(regions < 0))
+        raise QueryError(
+            f"{points[missing]!r} not found in the paged R*-tree"
+        )
+
+    last = np.empty(n, np.int64)
+    tuning = np.empty(n, np.int64)
+    for i, raw in enumerate(accesses):
+        accessed = dedupe_consecutive(raw)
+        _check_forward(accessed)
+        last[i] = accessed[-1] if accessed else 0
+        tuning[i] = len(set(accessed))
+    return TraceBatch(regions, last, tuning)
+
+
+# -- PR 1 reference tracers (regression oracle + benchmark baseline) ---------
 
 
 def _early_sides(partition, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
@@ -199,13 +627,12 @@ def _partition_segments(partition):
     )
 
 
-def _trace_batch_dtree(paged, points: Sequence[Point]) -> TraceBatch:
-    """Shared traversal of the paged D-tree.
+def _trace_batch_dtree_reference(paged, points: Sequence[Point]) -> TraceBatch:
+    """The PR 1 D-tree tracer: vectorized per node, but rebuilding the
+    partition segment arrays from Python ``Point`` objects on every call.
 
-    All queries descend together; at each node the active set splits by
-    the vectorized side test.  Queries taking the same packet path share
-    one interned *prefix*, so tuning/last-packet are computed once per
-    distinct path and scattered, not once per query.
+    Kept verbatim as the parity oracle and benchmark baseline for
+    :func:`_trace_batch_dtree`; not registered for dispatch.
     """
     tree = paged.tree
     n = len(points)
@@ -214,13 +641,12 @@ def _trace_batch_dtree(paged, points: Sequence[Point]) -> TraceBatch:
         zero = np.zeros(n, np.int64)
         return TraceBatch(np.full(n, only, np.int64), zero, zero.copy())
 
-    xs, ys = _coords(points)
+    xs, ys = point_coords(points)
     regions = np.empty(n, np.int64)
     final_prefix = np.empty(n, np.int64)
 
-    #: prefix id -> (parent prefix id, packets appended at this step).
-    prefixes = [(-1, ())]
-    interned = {}
+    prefixes: List[tuple] = [(-1, ())]
+    interned: Dict[tuple, int] = {}
 
     def extend_prefix(parent: int, appended: tuple) -> int:
         key = (parent, appended)
@@ -280,40 +706,18 @@ def _trace_batch_dtree(paged, points: Sequence[Point]) -> TraceBatch:
                     regions[sub] = child
                     final_prefix[sub] = child_prefix
 
-    # Materialize each distinct packet path once and scatter the results.
-    memo: Dict[int, tuple] = {0: ()}
-
-    def full_path(pid: int) -> tuple:
-        known = memo.get(pid)
-        if known is None:
-            parent, appended = prefixes[pid]
-            known = full_path(parent) + appended
-            memo[pid] = known
-        return known
-
-    last = np.empty(n, np.int64)
-    tuning = np.empty(n, np.int64)
-    for pid in np.unique(final_prefix):
-        accessed = dedupe_consecutive(full_path(int(pid)))
-        _check_forward(accessed)
-        mask = final_prefix == pid
-        last[mask] = accessed[-1] if accessed else 0
-        tuning[mask] = len(set(accessed))
-    return TraceBatch(regions, last, tuning)
+    return _materialize_prefixes(n, prefixes, final_prefix, regions)
 
 
-# -- R*-tree: batched DFS with vectorized MBR tests -------------------------
+def _trace_batch_rstar_reference(paged, points: Sequence[Point]) -> TraceBatch:
+    """The PR 1 R*-tree tracer: per-entry MBR tests and per-point scalar
+    polygon containment at the leaves.
 
-
-def _trace_batch_rstar(paged, points: Sequence[Point]) -> TraceBatch:
-    """Batched DFS over the paged R*-tree.
-
-    Point-in-MBR tests run vectorized per node entry; the exact polygon
-    containment at the leaves (boundary semantics included) reuses the
-    scalar predicate on the few surviving candidates.
+    Kept verbatim as the parity oracle and benchmark baseline for
+    :func:`_trace_batch_rstar`; not registered for dispatch.
     """
     n = len(points)
-    xs, ys = _coords(points)
+    xs, ys = point_coords(points)
     regions = np.full(n, -1, np.int64)
     accesses: List[List[int]] = [[] for _ in range(n)]
     subdivision = paged.tree.subdivision

@@ -27,6 +27,17 @@ from repro.geometry.predicates import (
 )
 from repro.geometry.clipping import clip_polygon_halfplane, clip_polygon_rect
 from repro.geometry.triangulate import triangulate_polygon, Triangle
+from repro.geometry.kernels import (
+    CompiledPartition,
+    CompiledPolygon,
+    CompiledSubdivision,
+    mbrs_contain_batch,
+    on_segment_batch,
+    orientation_batch,
+    point_coords,
+    points_in_polygon,
+    rect_contains_batch,
+)
 
 __all__ = [
     "Point",
@@ -46,4 +57,13 @@ __all__ = [
     "clip_polygon_rect",
     "triangulate_polygon",
     "Triangle",
+    "CompiledPartition",
+    "CompiledPolygon",
+    "CompiledSubdivision",
+    "mbrs_contain_batch",
+    "on_segment_batch",
+    "orientation_batch",
+    "point_coords",
+    "points_in_polygon",
+    "rect_contains_batch",
 ]

@@ -21,7 +21,7 @@ class Polygon:
     D-tree orient its extents consistently.
     """
 
-    __slots__ = ("vertices", "_bbox")
+    __slots__ = ("vertices", "_bbox", "_compiled")
 
     def __init__(self, vertices: Sequence[Point]) -> None:
         ring = [Point(p.x, p.y) if not isinstance(p, Point) else p for p in vertices]
@@ -41,6 +41,7 @@ class Polygon:
             raise GeometryError("polygon has (numerically) zero area")
         self.vertices: Tuple[Point, ...] = tuple(cleaned)
         self._bbox = Rect.from_points(self.vertices)
+        self._compiled = None
 
     def __repr__(self) -> str:
         inner = ", ".join(f"({v.x:g},{v.y:g})" for v in self.vertices)
@@ -113,6 +114,44 @@ class Polygon:
         return [(verts[i], verts[(i + 1) % n]) for i in range(n)]
 
     # -- point location ---------------------------------------------------------
+
+    def compiled(self):
+        """Flattened edge arrays for batch queries (built once, cached).
+
+        Returns the :class:`repro.geometry.kernels.CompiledPolygon`
+        whose batched containment test matches :meth:`contains_point`
+        bit for bit.
+        """
+        if self._compiled is None:
+            from repro.geometry.kernels import CompiledPolygon
+
+            self._compiled = CompiledPolygon(self)
+        return self._compiled
+
+    def classify_point(self, p: Point) -> int:
+        """Classify *p* in one edge sweep: 2 interior, 1 boundary, 0 outside.
+
+        Same decisions as :meth:`contains_point` — ``classify_point(p)
+        == 2`` iff ``contains_point(p, include_boundary=False)`` and
+        ``>= 1`` iff the closed ``contains_point(p)`` — but boundary and
+        interior come from a single pass over the edges, so callers that
+        need both (the subdivision locate oracle) scan each ring once.
+        """
+        if not self._bbox.contains_point(p):
+            return 0
+        verts = self.vertices
+        n = len(verts)
+        inside = False
+        for i in range(n):
+            a = verts[i]
+            b = verts[(i + 1) % n]
+            if on_segment(p, a, b):
+                return 1
+            if (a.y > p.y) != (b.y > p.y):
+                x_at = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x)
+                if x_at > p.x:
+                    inside = not inside
+        return 2 if inside else 0
 
     def contains_point(self, p: Point, include_boundary: bool = True) -> bool:
         """Ray-crossing containment test with explicit boundary handling."""

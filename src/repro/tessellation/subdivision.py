@@ -61,6 +61,7 @@ class Subdivision:
             service_area = Rect.union_of(r.polygon.bbox for r in regions)
         self.service_area = service_area
         self._by_id: Dict[int, DataRegion] = {r.region_id: r for r in self.regions}
+        self._compiled = None
 
     def __len__(self) -> int:
         return len(self.regions)
@@ -103,18 +104,16 @@ class Subdivision:
                 rng.uniform(self.service_area.min_x, self.service_area.max_x),
                 rng.uniform(self.service_area.min_y, self.service_area.max_y),
             )
-            hits = [
-                r.region_id
-                for r in self.regions
-                if r.polygon.contains_point(p, include_boundary=False)
+            classes = [
+                (r.region_id, r.polygon.classify_point(p)) for r in self.regions
             ]
+            hits = [rid for rid, c in classes if c == 2]
             if len(hits) > 1:
                 raise SubdivisionError(f"point {p!r} interior to regions {hits}")
             if not hits:
                 # On-boundary samples are legitimate; only fail if the point
                 # is not even on any closed region.
-                closed_hits = [r.region_id for r in self.regions if r.contains(p)]
-                if not closed_hits:
+                if not any(c >= 1 for _, c in classes):
                     raise SubdivisionError(f"point {p!r} not covered by any region")
 
     # -- point location (oracle) -----------------------------------------------
@@ -122,20 +121,41 @@ class Subdivision:
     def locate(self, p: Point) -> int:
         """Brute-force point location: id of the region containing *p*.
 
-        Boundary points resolve to the lowest region id that contains them,
-        which keeps the oracle deterministic.
+        Boundary points resolve to the lowest region id that contains them
+        (the first in scan order), which keeps the oracle deterministic.
+        Each region's ring is scanned once: :meth:`Polygon.classify_point`
+        answers interior and boundary in the same pass.
         """
         if not self.service_area.contains_point(p):
             raise QueryError(f"{p!r} is outside the service area")
         best: Optional[int] = None
         for r in self.regions:
-            if r.polygon.contains_point(p, include_boundary=False):
+            c = r.polygon.classify_point(p)
+            if c == 2:
                 return r.region_id
-            if best is None and r.contains(p):
+            if c == 1 and best is None:
                 best = r.region_id
         if best is None:
             raise QueryError(f"{p!r} not covered by any region (corrupt subdivision?)")
         return best
+
+    def compiled(self):
+        """Structure-of-arrays form for batch queries (built once, cached).
+
+        Returns the :class:`repro.geometry.kernels.CompiledSubdivision`
+        whose :meth:`~repro.geometry.kernels.CompiledSubdivision.locate_batch`
+        agrees with per-point :meth:`locate` everywhere, boundary
+        tie-breaks included.
+        """
+        if self._compiled is None:
+            from repro.geometry.kernels import CompiledSubdivision
+
+            self._compiled = CompiledSubdivision(self)
+        return self._compiled
+
+    def locate_batch(self, points: Sequence[Point]):
+        """Batched :meth:`locate`: ``int64`` region-id array, one per point."""
+        return self.compiled().locate_batch(points)
 
     # -- boundary extraction -----------------------------------------------------
 
@@ -199,6 +219,23 @@ class Subdivision:
             rng.uniform(self.service_area.min_x, self.service_area.max_x),
             rng.uniform(self.service_area.min_y, self.service_area.max_y),
         )
+
+    def random_points(self, n: int, rng) -> List[Point]:
+        """*n* uniform random points in the service area.
+
+        With a ``random.Random`` rng this consumes the stream exactly
+        like *n* calls of :meth:`random_point`, so existing seeded
+        workloads are unchanged.  A ``numpy.random.Generator`` takes a
+        vectorized path (two array draws) — the fast option for large
+        workload generation.
+        """
+        area = self.service_area
+        if hasattr(rng, "uniform") and not hasattr(rng, "getstate"):
+            # numpy Generator: one (n, 2) draw instead of 2n Python calls.
+            xs = rng.uniform(area.min_x, area.max_x, n)
+            ys = rng.uniform(area.min_y, area.max_y, n)
+            return [Point(x, y) for x, y in zip(xs.tolist(), ys.tolist())]
+        return [self.random_point(rng) for _ in range(n)]
 
     def directed_edge_region_above(self) -> Dict[EdgeKey, Optional[int]]:
         """Map each non-vertical undirected edge to the region above it.

@@ -51,13 +51,13 @@ def uniform_workload(
 
     All generators accept an injected *rng* so a caller can share one
     seeded stream across every stochastic component of a run; when
-    omitted a fresh ``random.Random(seed)`` is used.
+    omitted a fresh ``random.Random(seed)`` is used.  The points come
+    from :meth:`Subdivision.random_points`, which also accepts a numpy
+    ``Generator`` for vectorized draws on large workloads.
     """
     if rng is None:
         rng = random.Random(seed)
-    return QueryWorkload(
-        "uniform", [subdivision.random_point(rng) for _ in range(n)]
-    )
+    return QueryWorkload("uniform", subdivision.random_points(n, rng))
 
 
 def hotspot_workload(

@@ -79,28 +79,23 @@ class TestBatchedVsScalar:
 
 
 class TestSharedPrefixReuse:
-    def test_identical_points_materialise_one_path(
-        self, voronoi60, monkeypatch
-    ):
-        # The D-tree tracer interns packet paths: N copies of one point
-        # must run the per-path finalisation (forward check) exactly once.
+    def test_identical_points_share_one_descent(self, voronoi60):
+        # The D-tree tracer advances a shared frontier: N copies of one
+        # point descend together and must all land on the scalar trace.
         family = index_family("dtree")
         paged = family.build(voronoi60, seed=3).page(
             family.parameters(packet_capacity=256)
         )
         point = random_points_in(voronoi60, 1, seed=19)[0]
-        calls = []
-        from repro.engine import trace as trace_mod
-
-        original = trace_mod._check_forward
-        monkeypatch.setattr(
-            trace_mod,
-            "_check_forward",
-            lambda accessed: (calls.append(1), original(accessed))[1],
-        )
         batch = batched_trace(paged, [point] * 50)
         assert len(batch) == 50
-        assert len(calls) == 1
+        trace = paged.trace(point)
+        accessed = trace.packets_accessed
+        assert set(batch.region_ids.tolist()) == {trace.region_id}
+        assert set(batch.last_packet.tolist()) == {
+            accessed[-1] if accessed else 0
+        }
+        assert set(batch.tuning_time.tolist()) == {trace.tuning_time}
 
     def test_distinct_paths_share_common_prefixes(self, voronoi60):
         # Sanity: many distinct points still collapse to far fewer

@@ -1,0 +1,181 @@
+"""End-to-end parity of the kernel tracers with the scalar/PR 1 paths.
+
+The vectorized kernel layer must be invisible in the results: for every
+index family, :func:`repro.engine.batched_trace` has to agree element
+for element with the per-point ``paged.trace`` fallback, and
+:func:`repro.engine.evaluate_workload` has to reproduce the PR 1
+batched path (reference tracers + per-query ``rng.uniform`` issue-time
+draws) array-exact.  Adversarial boundary points ride along for the
+families with kernel tracers (D-tree, R*-tree); the triangular and
+trapezoidal families dispatch to the generic fallback and are checked
+on random points.
+"""
+
+import copy
+import random
+
+import numpy as np
+import pytest
+
+from repro.broadcast.schedule import BroadcastSchedule
+from repro.core.paging import PagedDTree
+from repro.engine import (
+    batched_trace,
+    evaluate_workload,
+    index_family,
+    register_tracer,
+)
+from repro.engine.batch import QueryEngine, _uniform_issue_times
+from repro.engine.trace import (
+    _trace_batch_dtree_reference,
+    _trace_batch_generic,
+    _trace_batch_rstar_reference,
+)
+from repro.rstar.paged import PagedRStarTree
+
+from tests.conftest import random_points_in
+from tests.test_geometry_kernels import adversarial_points
+
+ALL_KINDS = ("dtree", "trian", "trap", "rstar")
+KERNEL_KINDS = ("dtree", "rstar")  # families with dedicated kernel tracers
+DATASETS = ("voronoi60", "grid4x4")
+
+
+class _ReferencePagedDTree(PagedDTree):
+    """Dispatches to the PR 1 pure-Python D-tree tracer."""
+
+
+class _ReferencePagedRStarTree(PagedRStarTree):
+    """Dispatches to the PR 1 pure-Python R*-tree tracer."""
+
+
+register_tracer(_ReferencePagedDTree, _trace_batch_dtree_reference)
+register_tracer(_ReferencePagedRStarTree, _trace_batch_rstar_reference)
+
+_REFERENCE_CLASS = {
+    "dtree": _ReferencePagedDTree,
+    "rstar": _ReferencePagedRStarTree,
+}
+
+
+def _as_reference(paged, kind):
+    """A shallow re-classed view dispatching to the PR 1 tracer."""
+    reference = copy.copy(paged)
+    reference.__class__ = _REFERENCE_CLASS[kind]
+    return reference
+
+
+@pytest.fixture(scope="module", params=DATASETS)
+def dataset(request):
+    return request.param, request.getfixturevalue(request.param)
+
+
+@pytest.fixture(scope="module")
+def cells(dataset):
+    """Paged index + params per kind on the parametrized dataset."""
+    _, subdivision = dataset
+    out = {}
+    for kind in ALL_KINDS:
+        family = index_family(kind)
+        params = family.parameters(packet_capacity=256)
+        out[kind] = (family.build(subdivision, seed=7).page(params), params)
+    return out
+
+
+def _query_points(subdivision, kind, n=200, seed=13):
+    points = random_points_in(subdivision, n, seed=seed)
+    if kind in KERNEL_KINDS:
+        points += adversarial_points(subdivision)
+    return points
+
+
+def _assert_traces_equal(got, want):
+    assert got.region_ids.tolist() == want.region_ids.tolist()
+    assert got.last_packet.tolist() == want.last_packet.tolist()
+    assert got.tuning_time.tolist() == want.tuning_time.tolist()
+
+
+class TestTracerParity:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_batched_trace_matches_per_point_trace(self, dataset, cells, kind):
+        _, subdivision = dataset
+        paged, _ = cells[kind]
+        points = _query_points(subdivision, kind)
+        _assert_traces_equal(
+            batched_trace(paged, points),
+            _trace_batch_generic(paged, points),
+        )
+
+    @pytest.mark.parametrize("kind", KERNEL_KINDS)
+    def test_kernel_tracer_matches_reference_tracer(self, dataset, cells, kind):
+        _, subdivision = dataset
+        paged, _ = cells[kind]
+        points = _query_points(subdivision, kind)
+        _assert_traces_equal(
+            batched_trace(paged, points),
+            batched_trace(_as_reference(paged, kind), points),
+        )
+
+
+class TestDTreePagingVariants:
+    """§4.4 packet charging across packet capacities and early-termination
+    modes: the flat-frontier tracer must reproduce the scalar charging
+    (whole-span vs first-packet) in every configuration."""
+
+    @pytest.mark.parametrize("capacity", (32, 64))
+    @pytest.mark.parametrize("early", (True, False))
+    def test_charging_parity(self, voronoi60, capacity, early):
+        family = index_family("dtree")
+        params = family.parameters(packet_capacity=capacity)
+        tree = family.build(voronoi60, seed=7)
+        paged = PagedDTree(tree, params, early_termination=early)
+        points = _query_points(voronoi60, "dtree", n=150, seed=17)
+        got = batched_trace(paged, points)
+        _assert_traces_equal(got, _trace_batch_generic(paged, points))
+        _assert_traces_equal(got, _trace_batch_dtree_reference(paged, points))
+
+
+class TestWorkloadParity:
+    """evaluate_workload vs the PR 1 batched path, array-exact."""
+
+    def _reference_evaluate(self, paged, region_ids, params, points, seed):
+        """Reference tracer + per-query ``rng.uniform`` issue draws."""
+        schedule = BroadcastSchedule(
+            index_packet_count=len(paged.packets),
+            region_ids=list(region_ids),
+            params=params,
+        )
+        engine = QueryEngine(paged, schedule)
+        rng = random.Random(seed)
+        issue_times = [rng.uniform(0, schedule.cycle_length) for _ in points]
+        return engine.run(points, issue_times=issue_times)
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_results_are_array_exact(self, dataset, cells, kind):
+        _, subdivision = dataset
+        paged, params = cells[kind]
+        points = _query_points(subdivision, kind)
+        reference_paged = (
+            _as_reference(paged, kind) if kind in KERNEL_KINDS else paged
+        )
+        got = evaluate_workload(
+            paged, subdivision.region_ids, params, points, seed=3
+        )
+        want = self._reference_evaluate(
+            reference_paged, subdivision.region_ids, params, points, seed=3
+        )
+        assert got.region_ids.tolist() == want.region_ids.tolist()
+        assert got.access_latency.tolist() == want.access_latency.tolist()
+        assert (
+            got.index_tuning_time.tolist() == want.index_tuning_time.tolist()
+        )
+
+
+class TestIssueTimes:
+    def test_uniform_issue_times_bit_equal_to_scalar_draws(self):
+        for seed, n, length in ((3, 100, 977.0), (11, 257, 12.5)):
+            batch = _uniform_issue_times(random.Random(seed), n, length)
+            rng = random.Random(seed)
+            scalar = [rng.uniform(0, length) for _ in range(n)]
+            assert batch.tolist() == scalar
+            assert batch.dtype == np.float64
