@@ -6,6 +6,13 @@ end — median ms per case plus the python/numpy/platform fingerprint —
 so performance history travels with the code and CI can archive the
 numbers as workflow artifacts.
 
+Each flush keeps the top-level ``cases`` block current (this run's
+medians merged over any committed ones, latest wins — a partial run
+doesn't drop cases it did not time) and *appends* a ``history`` entry
+holding exactly this run's cases plus metadata, git sha and timestamp,
+so the performance trajectory across PRs is preserved instead of
+overwritten.
+
 Lives in its own module (not ``conftest.py``) so the benchmark files
 and pytest's conftest loader share the same record store: pytest
 imports ``conftest.py`` by path under its own module name, and a
@@ -66,14 +73,42 @@ def _metadata():
     }
 
 
-def flush_records():
-    """Write one ``BENCH_<suite>.json`` per suite that actually ran."""
+def _load_existing(path):
+    """Committed BENCH file contents, or ``None`` if absent/corrupt."""
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def flush_records(git_sha=None, timestamp=None):
+    """Write one ``BENCH_<suite>.json`` per suite that actually ran.
+
+    *git_sha* and *timestamp* identify this run in the appended
+    ``history`` entry; the runner (``benchmarks/conftest.py``) passes
+    them in so this module stays free of subprocess/clock concerns.
+    """
+    metadata = _metadata()
     for suite, cases in _RECORDS.items():
+        run_cases = dict(sorted(cases.items()))
+        path = REPO_ROOT / f"BENCH_{suite}.json"
+        existing = _load_existing(path)
+        merged = dict(existing.get("cases", {})) if existing else {}
+        merged.update(run_cases)
+        history = list(existing.get("history", [])) if existing else []
+        history.append(
+            {
+                "cases": run_cases,
+                "metadata": metadata,
+                "git_sha": git_sha,
+                "timestamp": timestamp,
+            }
+        )
         payload = {
             "suite": suite,
             "unit": "median_ms",
-            "metadata": _metadata(),
-            "cases": dict(sorted(cases.items())),
+            "metadata": metadata,
+            "cases": dict(sorted(merged.items())),
+            "history": history,
         }
-        path = REPO_ROOT / f"BENCH_{suite}.json"
         path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")

@@ -116,3 +116,51 @@ def bench_engine_speedup_dtree_10k(benchmark, subdivision, cells):
         f"batched {batched_s:.3f}s -> {speedup:.1f}x"
     )
     assert speedup >= 3.0, f"batched engine only {speedup:.1f}x"
+
+
+def bench_engine_profiled_overhead_dtree_10k(benchmark, subdivision, cells):
+    """The observability acceptance bar: an installed Collector costs
+    <= 5 % on the batched D-tree at 10k queries (DESIGN.md §10).
+
+    Min-of-5 timing on both sides so scheduler noise cannot fail the
+    assertion spuriously; the recorded cases land in BENCH_engine.json's
+    history alongside the plain batched numbers.
+    """
+    from repro.obs import Collector, collecting
+
+    paged, params = cells["dtree"]
+    points = _points(subdivision, 10_000)
+    region_ids = subdivision.region_ids
+
+    def plain():
+        return evaluate_workload(
+            paged, region_ids, params, points, seed=3
+        ).summary(region_ids, params)
+
+    def profiled():
+        with collecting(Collector()):
+            return plain()
+
+    def best_of(fn, rounds=5):
+        times = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    plain()  # warm every lazy cache before timing either side
+    plain_s = best_of(plain)
+    profiled_s = best_of(profiled)
+    run_recorded(benchmark, profiled, "engine", "profiled-dtree-10000")
+    record_case("engine", "profiled-dtree-10000-plain", plain_s * 1000.0)
+    record_case("engine", "profiled-dtree-10000-enabled", profiled_s * 1000.0)
+    overhead = profiled_s / plain_s - 1.0
+    record_case("engine", "profiled-dtree-10000-overhead-pct", overhead * 100.0)
+    print(
+        f"\n[dtree @ 10k queries] plain {plain_s * 1000:.2f}ms, "
+        f"collected {profiled_s * 1000:.2f}ms -> {overhead * 100:+.2f}%"
+    )
+    assert overhead <= 0.05, (
+        f"collector overhead {overhead * 100:.2f}% exceeds the 5% budget"
+    )

@@ -66,7 +66,9 @@ from repro.broadcast import (
     evaluate_index_per_query,
 )
 
-__version__ = "1.3.0"
+# Single source of truth — pyproject.toml reads it via
+# ``[tool.setuptools.dynamic] version = {attr = "repro.__version__"}``.
+__version__ = "1.4.0"
 
 #: Engine names resolved lazily (PEP 562): ``repro.engine`` imports the
 #: index families, which import the broadcast substrate, so an eager

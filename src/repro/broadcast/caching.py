@@ -23,6 +23,7 @@ from typing import List, Optional
 
 from repro.errors import BroadcastError
 from repro.geometry.point import Point
+from repro.obs import active_collector
 from repro.broadcast.client import AccessResult
 from repro.broadcast.packets import PagedIndex
 
@@ -37,7 +38,11 @@ class PacketCache:
         self._entries: "OrderedDict[int, None]" = OrderedDict()
 
     def __contains__(self, packet_id: int) -> bool:
-        return packet_id in self._entries
+        hit = packet_id in self._entries
+        col = active_collector()
+        if col is not None:
+            col.count("cache.hit" if hit else "cache.miss")
+        return hit
 
     def __len__(self) -> int:
         return len(self._entries)

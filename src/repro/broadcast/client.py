@@ -16,6 +16,7 @@ from typing import List, Optional
 
 from repro.errors import BroadcastError
 from repro.geometry.point import Point
+from repro.obs import active_collector
 from repro.broadcast.packets import PagedIndex, QueryTrace
 from repro.broadcast.schedule import BroadcastSchedule
 
@@ -96,6 +97,13 @@ class BroadcastClient:
         access_latency = bucket_end - issue_time
         index_tuning = trace.tuning_time
         total_tuning = 1 + index_tuning + self.schedule.bucket_packets
+        col = active_collector()
+        if col is not None:
+            col.count("client.queries")
+            col.count("client.probes")
+            col.count("client.packets.index", index_tuning)
+            col.count("client.packets.data", self.schedule.bucket_packets)
+            col.count("client.doze_slots", access_latency - total_tuning)
         return AccessResult(
             region_id=trace.region_id,
             access_latency=access_latency,

@@ -17,6 +17,7 @@ in packets.
 
 from __future__ import annotations
 
+import bisect
 import math
 from typing import Dict, List, Sequence, Tuple
 
@@ -103,12 +104,21 @@ class BroadcastSchedule:
 
     def next_index_start(self, time: float) -> int:
         """Absolute position of the first index segment starting at or
-        after *time* (wrapping into the next cycle when needed)."""
+        after *time* (wrapping into the next cycle when needed).
+
+        ``divmod`` keeps the offset in ``[0, cycle_length)`` even for
+        negative *time* (which :meth:`segment_for_offset` produces when
+        the cached prefix is longer than the elapsed cycle fraction), so
+        the bisect below — first start ``>= offset``, same semantics as
+        ``np.searchsorted(side="left")`` in the engine's vectorized
+        twin — needs no special cases.
+        """
         cycle, offset = divmod(time, self.cycle_length)
-        for start in self.index_segment_starts:
-            if start >= offset:
-                return int(cycle) * self.cycle_length + start
-        return (int(cycle) + 1) * self.cycle_length + self.index_segment_starts[0]
+        starts = self.index_segment_starts
+        idx = bisect.bisect_left(starts, offset)
+        if idx == len(starts):
+            return (int(cycle) + 1) * self.cycle_length + starts[0]
+        return int(cycle) * self.cycle_length + starts[idx]
 
     def segment_for_offset(self, offset: int, time: float) -> int:
         """Start of the earliest index segment whose *offset*-th packet

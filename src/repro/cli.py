@@ -8,6 +8,12 @@ Examples::
     python -m repro ablations
     python -m repro indexes
     python -m repro simulate --queries 200 --error-rate 0.1 --seed 7
+    python -m repro simulate --profile trace.json
+    python -m repro figure12 --profile figure12-profile.json
+
+``--profile [PATH]`` installs a :class:`repro.obs.Collector` around the
+run and writes its counters/histograms/spans as one JSON document (plus
+a flat CSV next to it) — see DESIGN.md §10 for the counter taxonomy.
 """
 
 from __future__ import annotations
@@ -144,6 +150,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="also write each figure's series as CSV into this directory",
     )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="profile.json",
+        default=None,
+        metavar="PATH",
+        help="collect counters/spans for the run and write them as JSON "
+        "to PATH (default profile.json; a flat CSV lands next to it)",
+    )
     sim = parser.add_argument_group("simulate", "faulty-channel options")
     sim.add_argument(
         "--error-rate",
@@ -195,6 +210,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.profile:
+        from repro.obs import collecting, write_profile
+
+        with collecting() as col:
+            status = _dispatch(args)
+        path = write_profile(col, args.profile)
+        print(f"[profile written to {path} and {path.with_suffix('.csv')}]")
+        return status
+    return _dispatch(args)
+
+
+def _dispatch(args) -> int:
+    """Run the selected target (profiled or not)."""
     if args.target == "simulate":
         return _run_simulate(args)
     if args.target == "ablations":

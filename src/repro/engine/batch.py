@@ -30,6 +30,7 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from repro.errors import BroadcastError
+from repro.obs import active_collector, null_span
 from repro.broadcast.metrics import (
     MetricsSummary,
     indexing_efficiency,
@@ -117,6 +118,13 @@ class BatchResult:
         plain left-to-right Python sums over the per-query values, so the
         summary is bit-for-bit the one ``evaluate_index`` always returned.
         """
+        col = active_collector()
+        with col.span("engine.summary") if col is not None else null_span(""):
+            return self._summary(region_ids, params)
+
+    def _summary(
+        self, region_ids: Sequence[int], params: SystemParameters
+    ) -> MetricsSummary:
         n = len(self)
         n_regions = len(region_ids)
         mean_latency = sum(self.access_latency.tolist()) / n
@@ -230,48 +238,70 @@ class QueryEngine:
         else:
             times = np.asarray(issue_times, np.float64)
 
-        traces = batched_trace(self.paged_index, points)
+        col = active_collector()
+        span = col.span if col is not None else null_span
+        if col is not None:
+            col.count("engine.runs")
+            col.count("engine.queries", n)
+            col.observe("engine.batch_size", n)
 
-        # Step 1 + 3 of the access protocol, vectorized when the schedule
-        # is the flat (1, m) program.
-        if self._vectorized:
-            segment_starts = self._next_index_starts(times)
-            index_done = segment_starts + traces.last_packet + 1
-            bucket_starts = self._next_bucket_arrivals(
-                traces.region_ids, index_done
-            )
-        else:
-            schedule = self.schedule
-            segment_starts = np.fromiter(
-                (schedule.next_index_start(t) for t in times.tolist()),
-                np.int64,
-                count=n,
-            )
-            index_done = segment_starts + traces.last_packet + 1
-            bucket_starts = np.fromiter(
-                (
-                    schedule.next_bucket_arrival(region, float(done))
-                    for region, done in zip(
-                        traces.region_ids.tolist(), index_done.tolist()
+        with span("engine.run"):
+            with span("engine.trace"):
+                traces = batched_trace(self.paged_index, points)
+
+            # Step 1 + 3 of the access protocol, vectorized when the
+            # schedule is the flat (1, m) program.
+            with span("engine.timeline"):
+                if self._vectorized:
+                    segment_starts = self._next_index_starts(times)
+                    index_done = segment_starts + traces.last_packet + 1
+                    bucket_starts = self._next_bucket_arrivals(
+                        traces.region_ids, index_done
                     )
-                ),
-                np.int64,
-                count=n,
-            )
+                else:
+                    schedule = self.schedule
+                    segment_starts = np.fromiter(
+                        (schedule.next_index_start(t) for t in times.tolist()),
+                        np.int64,
+                        count=n,
+                    )
+                    index_done = segment_starts + traces.last_packet + 1
+                    bucket_starts = np.fromiter(
+                        (
+                            schedule.next_bucket_arrival(region, float(done))
+                            for region, done in zip(
+                                traces.region_ids.tolist(), index_done.tolist()
+                            )
+                        ),
+                        np.int64,
+                        count=n,
+                    )
 
-        bucket_packets = self.schedule.bucket_packets
-        bucket_ends = bucket_starts + bucket_packets
-        access_latency = bucket_ends.astype(np.float64) - times
-        total_tuning = 1 + traces.tuning_time + bucket_packets
-        return BatchResult(
-            issue_times=times,
-            region_ids=traces.region_ids,
-            access_latency=access_latency,
-            index_tuning_time=traces.tuning_time,
-            total_tuning_time=total_tuning,
-            index_packet_count=len(self.paged_index.packets),
-            schedule=self.schedule,
-        )
+            bucket_packets = self.schedule.bucket_packets
+            bucket_ends = bucket_starts + bucket_packets
+            access_latency = bucket_ends.astype(np.float64) - times
+            total_tuning = 1 + traces.tuning_time + bucket_packets
+            if col is not None:
+                col.count(
+                    "engine.timeline.vectorized" if self._vectorized
+                    else "engine.timeline.fallback"
+                )
+                col.count("engine.probes", n)
+                col.count("engine.packets.index", int(traces.tuning_time.sum()))
+                col.count("engine.packets.data", n * bucket_packets)
+                col.count(
+                    "engine.doze_slots",
+                    float((access_latency - total_tuning).sum()),
+                )
+            return BatchResult(
+                issue_times=times,
+                region_ids=traces.region_ids,
+                access_latency=access_latency,
+                index_tuning_time=traces.tuning_time,
+                total_tuning_time=total_tuning,
+                index_packet_count=len(self.paged_index.packets),
+                schedule=self.schedule,
+            )
 
 
 def evaluate_workload(

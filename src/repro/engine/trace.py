@@ -41,6 +41,7 @@ from typing import Callable, Dict, List, Sequence
 import numpy as np
 
 from repro.errors import BroadcastError, QueryError
+from repro.obs import active_collector
 from repro.broadcast.packets import PagedIndex, dedupe_consecutive
 from repro.geometry.kernels import (
     CompiledPartition,
@@ -108,8 +109,19 @@ def batched_trace(paged_index: PagedIndex, points: Sequence[Point]) -> TraceBatc
     for cls in type(paged_index).__mro__:
         tracer = TRACER_REGISTRY.get(cls)
         if tracer is not None:
-            return tracer(paged_index, points)
-    return _trace_batch_generic(paged_index, points)
+            break
+    else:
+        tracer = _trace_batch_generic
+    batch = tracer(paged_index, points)
+    col = active_collector()
+    if col is not None:
+        # Per-family packet counters, keyed by the paged-index class.
+        family = type(paged_index).__name__
+        col.count(f"trace.{family}.queries", len(batch))
+        col.count(
+            f"trace.{family}.index_packets", int(batch.tuning_time.sum())
+        )
+    return batch
 
 
 def _check_forward(accessed: List[int]) -> None:
@@ -372,6 +384,7 @@ def _trace_batch_dtree(paged, points: Sequence[Point]) -> TraceBatch:
     xs, ys = point_coords(points)
     ct = _compile_dtree(paged)
     early = paged.early_termination
+    col = active_collector()
     regions = np.empty(n, np.int64)
     last_out = np.empty(n, np.int64)
     tuning_out = np.empty(n, np.int64)
@@ -383,6 +396,9 @@ def _trace_batch_dtree(paged, points: Sequence[Point]) -> TraceBatch:
 
     while apt.size:
         nd = anode
+        if col is not None:
+            col.count("trace.dtree.levels")
+            col.observe("trace.dtree.frontier_width", apt.size)
         x = xs[apt]
         y = ys[apt]
 
@@ -406,6 +422,10 @@ def _trace_batch_dtree(paged, points: Sequence[Point]) -> TraceBatch:
                 for bucket in range(4):
                     sel = d2[buckets == bucket]
                     if sel.size:
+                        if col is not None:
+                            col.observe(
+                                "kernels.pair_parity.size", sel.size
+                            )
                         first[sel] = _pair_parity(
                             ct, bucket, nd[sel], x[sel], y[sel]
                         )
@@ -513,10 +533,14 @@ def _trace_batch_rstar(paged, points: Sequence[Point]) -> TraceBatch:
     n = len(points)
     xs, ys = point_coords(points)
     root = _compile_rstar(paged)
+    col = active_collector()
     regions = np.full(n, -1, np.int64)
     accesses: List[List[int]] = [[] for _ in range(n)]
 
     def search(cn: _CompiledRStarNode, idxs: np.ndarray) -> None:
+        if col is not None:
+            col.count("trace.rstar.nodes_visited")
+            col.observe("trace.rstar.node_batch", idxs.size)
         packet = cn.packet
         for i in idxs.tolist():
             accesses[i].append(packet)

@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import QueryError
+from repro.obs import active_collector
 from repro.geometry.predicates import EPS
 
 __all__ = [
@@ -201,6 +202,9 @@ class CompiledPolygon:
         """
         xs = np.asarray(xs, np.float64)
         ys = np.asarray(ys, np.float64)
+        col = active_collector()
+        if col is not None:
+            col.observe("kernels.classify_batch.size", len(xs))
         in_bb = (
             (self.min_x <= xs)
             & (xs <= self.max_x)
@@ -535,6 +539,9 @@ class CompiledSubdivision:
         xs = np.asarray(xs, np.float64)
         ys = np.asarray(ys, np.float64)
         n = len(xs)
+        col = active_collector()
+        if col is not None:
+            col.observe("kernels.locate_batch.size", n)
         area = self.service_area
         outside = ~rect_contains_batch(area, xs, ys)
         if outside.any():

@@ -1,0 +1,63 @@
+"""repro.obs — the off-by-default observability layer.
+
+Every hot subsystem (the batched query engine, the faulty-channel
+simulator, the broadcast clients, the geometry kernels) carries named
+counters, batch-size histograms and per-phase spans.  All of it is
+gated on one module-level handle:
+
+* :func:`active_collector` returns ``None`` unless a
+  :class:`Collector` has been installed, and every instrumentation
+  point checks that handle **once** (per run, per query or per kernel
+  call) before touching anything — with no collector installed the
+  instrumented code paths are provably inert: results are bit-for-bit
+  identical to the uninstrumented code (asserted by the parity tests in
+  ``tests/test_kernel_parity.py`` and ``tests/test_simulation.py``).
+* :func:`collecting` installs a collector for a ``with`` body and
+  restores the previous one on exit; observation never perturbs the
+  observed computation (no rng draws, no arithmetic on result values),
+  so even *enabled* runs produce identical outputs.
+
+Export goes through :mod:`repro.obs.export`: one JSON document
+(validated by :func:`~repro.obs.export.validate_profile`) plus a flat
+CSV, both written by :func:`~repro.obs.export.write_profile` — the
+``python -m repro ... --profile PATH`` flag is a thin wrapper around
+exactly that.
+
+The counter taxonomy is documented in DESIGN.md §10.
+"""
+
+from repro.obs.collector import (
+    NULL_SPAN,
+    Collector,
+    Histogram,
+    SpanRecord,
+    active_collector,
+    collecting,
+    install,
+    null_span,
+    uninstall,
+)
+from repro.obs.export import (
+    PROFILE_SCHEMA,
+    profile_csv,
+    profile_document,
+    validate_profile,
+    write_profile,
+)
+
+__all__ = [
+    "Collector",
+    "Histogram",
+    "SpanRecord",
+    "NULL_SPAN",
+    "active_collector",
+    "collecting",
+    "install",
+    "uninstall",
+    "null_span",
+    "PROFILE_SCHEMA",
+    "profile_document",
+    "profile_csv",
+    "validate_profile",
+    "write_profile",
+]

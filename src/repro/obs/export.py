@@ -1,0 +1,155 @@
+"""Profile export: one JSON document plus a flat CSV.
+
+The JSON document is the machine interface — CI validates every emitted
+profile against :func:`validate_profile` (a dependency-free structural
+schema check) and archives it as a workflow artifact next to the BENCH
+files.  The CSV is the spreadsheet interface: one row per counter /
+histogram field / span total, trivially greppable and plottable.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+from typing import Union
+
+from repro.obs.collector import Collector
+
+#: Schema identifier stamped into (and required of) every profile.
+PROFILE_SCHEMA = "repro.obs/1"
+
+
+def profile_document(collector: Collector) -> dict:
+    """The complete JSON-serializable profile of one collector."""
+    from repro import __version__
+
+    return {
+        "schema": PROFILE_SCHEMA,
+        "version": __version__,
+        "counters": dict(sorted(collector.counters.items())),
+        "histograms": {
+            name: hist.to_dict()
+            for name, hist in sorted(collector.histograms.items())
+        },
+        "spans": [record.to_dict() for record in collector.spans],
+        "span_totals": dict(sorted(collector.span_totals().items())),
+        "dropped_spans": collector.dropped_spans,
+    }
+
+
+def profile_csv(collector: Collector) -> str:
+    """Flat CSV of the same data: ``kind,name,field,value`` rows."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["kind", "name", "field", "value"])
+    for name, value in sorted(collector.counters.items()):
+        writer.writerow(["counter", name, "value", value])
+    for name, hist in sorted(collector.histograms.items()):
+        fields = (
+            ("count", hist.count),
+            ("sum", hist.total),
+            ("min", hist.min),
+            ("max", hist.max),
+            ("mean", hist.mean),
+        )
+        for field, value in fields:
+            writer.writerow(["histogram", name, field, value])
+        for le, count in sorted(hist.buckets.items()):
+            writer.writerow(["histogram", name, f"le_{le}", count])
+    for name, agg in sorted(collector.span_totals().items()):
+        writer.writerow(["span", name, "count", agg["count"]])
+        writer.writerow(["span", name, "total_s", agg["total_s"]])
+        writer.writerow(["span", name, "max_s", agg["max_s"]])
+    return out.getvalue()
+
+
+def write_profile(
+    collector: Collector, path: Union[str, pathlib.Path]
+) -> pathlib.Path:
+    """Write the JSON document to *path* and the CSV next to it
+    (same stem, ``.csv`` suffix).  Returns the JSON path."""
+    path = pathlib.Path(path)
+    document = profile_document(collector)
+    validate_profile(document)  # never emit a document CI would reject
+    path.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+    path.with_suffix(".csv").write_text(profile_csv(collector))
+    return path
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(f"invalid profile document: {message}")
+
+
+def validate_profile(document: dict) -> dict:
+    """Structural schema check of a profile JSON document.
+
+    Raises :class:`ValueError` naming the first violation; returns the
+    document unchanged when it conforms.  Dependency-free on purpose —
+    the container has no jsonschema and CI runs this exact function.
+    """
+    _require(isinstance(document, dict), "not a JSON object")
+    for key in (
+        "schema",
+        "version",
+        "counters",
+        "histograms",
+        "spans",
+        "span_totals",
+        "dropped_spans",
+    ):
+        _require(key in document, f"missing key {key!r}")
+    _require(
+        document["schema"] == PROFILE_SCHEMA,
+        f"schema is {document['schema']!r}, expected {PROFILE_SCHEMA!r}",
+    )
+    _require(isinstance(document["version"], str), "version must be a string")
+    counters = document["counters"]
+    _require(isinstance(counters, dict), "counters must be an object")
+    for name, value in counters.items():
+        _require(isinstance(name, str), "counter names must be strings")
+        _require(
+            isinstance(value, (int, float)) and not isinstance(value, bool),
+            f"counter {name!r} value must be a number",
+        )
+    histograms = document["histograms"]
+    _require(isinstance(histograms, dict), "histograms must be an object")
+    for name, hist in histograms.items():
+        _require(isinstance(hist, dict), f"histogram {name!r} must be an object")
+        for field in ("count", "sum", "min", "max", "mean", "buckets"):
+            _require(field in hist, f"histogram {name!r} missing {field!r}")
+        _require(
+            isinstance(hist["count"], int) and hist["count"] >= 0,
+            f"histogram {name!r} count must be a non-negative integer",
+        )
+        _require(
+            isinstance(hist["buckets"], dict),
+            f"histogram {name!r} buckets must be an object",
+        )
+        _require(
+            sum(hist["buckets"].values()) == hist["count"],
+            f"histogram {name!r} bucket counts do not sum to count",
+        )
+    spans = document["spans"]
+    _require(isinstance(spans, list), "spans must be a list")
+    for record in spans:
+        _require(isinstance(record, dict), "span records must be objects")
+        for field in ("name", "parent", "start_s", "elapsed_s"):
+            _require(field in record, f"span record missing {field!r}")
+        _require(
+            record["elapsed_s"] >= 0, "span elapsed_s must be non-negative"
+        )
+    totals = document["span_totals"]
+    _require(isinstance(totals, dict), "span_totals must be an object")
+    for name, agg in totals.items():
+        _require(isinstance(agg, dict), f"span total {name!r} must be an object")
+        for field in ("count", "total_s", "max_s"):
+            _require(field in agg, f"span total {name!r} missing {field!r}")
+    _require(
+        isinstance(document["dropped_spans"], int)
+        and document["dropped_spans"] >= 0,
+        "dropped_spans must be a non-negative integer",
+    )
+    return document

@@ -35,13 +35,18 @@ from typing import List, Optional, Tuple, Union
 
 from repro.errors import BroadcastError
 from repro.geometry.point import Point
+from repro.obs import active_collector
 from repro.broadcast.caching import PacketCache
 from repro.broadcast.client import AccessResult
 from repro.broadcast.packets import PagedIndex, QueryTrace
 from repro.simulation.candidates import CandidateFn, candidate_provider
 from repro.simulation.energy import EnergyModel
 from repro.simulation.faults import ErrorModel, PerfectChannel
-from repro.simulation.policies import RecoveryPolicy, recovery_policy
+from repro.simulation.policies import (
+    RecoveryPolicy,
+    record_recovery,
+    recovery_policy,
+)
 
 
 class SimAccessResult(AccessResult):
@@ -125,6 +130,9 @@ class UnreliableBroadcastClient:
         model.start_query()
         self._attempts = 0
         self._index_attempts = 0
+        self._probe_attempts = 0
+        self._retries = 0
+        self._fell_back = False
         self._losses = 0
         self._index_read_ok: List[int] = []
 
@@ -160,6 +168,9 @@ class UnreliableBroadcastClient:
         energy = self.energy_model.query_joules(
             self._attempts, access_latency, self.schedule.params.packet_capacity
         )
+        col = active_collector()
+        if col is not None:
+            self._record_query(col, accessed, needed, access_latency)
         return SimAccessResult(
             region_id=trace.region_id,
             access_latency=access_latency,
@@ -171,6 +182,38 @@ class UnreliableBroadcastClient:
             energy_joules=energy,
         )
 
+    def _record_query(
+        self, col, accessed: List[int], needed: List[int], access_latency: float
+    ) -> None:
+        """Emit this query's profile counters (collector installed only).
+
+        Pure observation: every value is read from the bookkeeping the
+        query already did, so enabled runs stay bit-for-bit identical.
+        """
+        col.count("sim.queries")
+        col.count("sim.losses", self._losses)
+        col.count("sim.read_attempts", self._attempts)
+        col.count("sim.reads.probe", self._probe_attempts)
+        col.count("sim.reads.index", self._index_attempts)
+        col.count(
+            "sim.reads.data",
+            self._attempts - self._probe_attempts - self._index_attempts,
+        )
+        col.count("sim.retries", self._retries)
+        if self._fell_back:
+            col.count("sim.fallbacks")
+        col.count(
+            "sim.doze_slots", max(access_latency - self._attempts, 0.0)
+        )
+        if self.cache is not None:
+            col.count("sim.cache.hits", len(accessed) - len(needed))
+            col.count("sim.cache.misses", len(needed))
+        receive_j, doze_j = self.energy_model.query_components(
+            self._attempts, access_latency, self.schedule.params.packet_capacity
+        )
+        col.count("sim.energy.receive_j", receive_j)
+        col.count("sim.energy.doze_j", doze_j)
+
     # -- protocol steps -----------------------------------------------------
 
     def _probe(self, issue_time: float) -> float:
@@ -179,12 +222,14 @@ class UnreliableBroadcastClient:
         survives.  Returns the instant the timing is known."""
         slot = math.floor(issue_time)
         self._attempts += 1
+        self._probe_attempts += 1
         if not self.error_model.packet_lost(slot):
             return issue_time
         self._losses += 1
         while True:
             slot += 1
             self._attempts += 1
+            self._probe_attempts += 1
             if not self.error_model.packet_lost(slot):
                 return float(slot + 1)
             self._losses += 1
@@ -217,8 +262,11 @@ class UnreliableBroadcastClient:
             if self.error_model.packet_lost(position):
                 self._losses += 1
                 if self.policy.falls_back:
+                    record_recovery(self.policy)
+                    self._fell_back = True
                     last_good = needed[i - 1] if i > 0 else None
                     return ("fallback", float(position + 1), last_good)
+                self._retries += 1
                 base = self.policy.resume_segment_base(schedule, base, position)
             else:
                 self._index_read_ok.append(needed[i])

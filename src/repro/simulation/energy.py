@@ -72,3 +72,28 @@ class EnergyModel:
         active_s = read_attempts * slot
         doze_s = max(access_latency - read_attempts, 0.0) * slot
         return (self.receive_mw * active_s + self.doze_mw * doze_s) / 1000.0
+
+    def query_components(
+        self,
+        read_attempts: int,
+        access_latency: float,
+        packet_capacity: int,
+    ) -> "tuple[float, float]":
+        """``(receive_joules, doze_joules)`` of one query.
+
+        Observability-only breakdown: summing the two components may
+        differ from :meth:`query_joules` in the last ulp, so the
+        simulator keeps charging through ``query_joules`` and reports
+        this split purely as profile counters.
+        """
+        if read_attempts < 0:
+            raise BroadcastError(
+                f"read attempts must be >= 0, got {read_attempts}"
+            )
+        slot = self.packet_seconds(packet_capacity)
+        active_s = read_attempts * slot
+        doze_s = max(access_latency - read_attempts, 0.0) * slot
+        return (
+            self.receive_mw * active_s / 1000.0,
+            self.doze_mw * doze_s / 1000.0,
+        )

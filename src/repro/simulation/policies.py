@@ -29,6 +29,18 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.errors import BroadcastError
+from repro.obs import active_collector
+
+
+def record_recovery(policy: "RecoveryPolicy") -> None:
+    """Count one invocation of *policy* (``sim.recovery.<name>``) when a
+    collector is installed; inert otherwise.  The retrying policies call
+    this from :meth:`RecoveryPolicy.resume_segment_base`; the fallback
+    policy never resumes, so the unreliable client records its
+    invocation at the fallback branch instead."""
+    col = active_collector()
+    if col is not None:
+        col.count(f"sim.recovery.{policy.name}")
 
 
 class RecoveryPolicy:
@@ -63,6 +75,7 @@ class RetryNextSegment(RecoveryPolicy):
     def resume_segment_base(
         self, schedule, segment_base: int, lost_position: int
     ) -> int:
+        record_recovery(self)
         return schedule.next_index_start(float(lost_position + 1))
 
 
@@ -74,6 +87,7 @@ class RetryNextCycle(RecoveryPolicy):
     def resume_segment_base(
         self, schedule, segment_base: int, lost_position: int
     ) -> int:
+        record_recovery(self)
         return segment_base + schedule.cycle_length
 
 

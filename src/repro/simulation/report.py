@@ -118,6 +118,47 @@ class SimulationReport:
 
     __hash__ = None  # mutable arrays inside
 
+    #: The per-query arrays carried by every report, in declaration order.
+    _ARRAY_FIELDS = (
+        "issue_times",
+        "region_ids",
+        "access_latency",
+        "tuning_time",
+        "energy_joules",
+        "packet_losses",
+        "read_attempts",
+    )
+
+    # -- (de)serialization --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable dict; :meth:`from_dict` round-trips it to
+        an equal report (arrays restored with their original dtypes)."""
+        out: Dict[str, object] = {
+            "index_kind": self.index_kind,
+            "policy": self.policy,
+            "error_model": self.error_model,
+        }
+        for name in self._ARRAY_FIELDS:
+            array = getattr(self, name)
+            out[name] = array.tolist()
+            out[f"{name}_dtype"] = str(array.dtype)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimulationReport":
+        """Inverse of :meth:`to_dict`."""
+        arrays = {
+            name: np.asarray(data[name], dtype=data[f"{name}_dtype"])
+            for name in cls._ARRAY_FIELDS
+        }
+        return cls(
+            index_kind=data["index_kind"],
+            policy=data["policy"],
+            error_model=data["error_model"],
+            **arrays,
+        )
+
     # -- reductions ---------------------------------------------------------
 
     @property

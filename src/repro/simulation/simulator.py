@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence, Union
 import numpy as np
 
 from repro.errors import BroadcastError
+from repro.obs import active_collector, null_span
 from repro.broadcast.packets import PagedIndex
 from repro.broadcast.params import SystemParameters
 from repro.broadcast.schedule import BroadcastSchedule
@@ -102,9 +103,16 @@ class ChannelSimulator:
         # from the run seed but offset so it never mirrors issue times.
         self.client.error_model.reset(random.Random(f"channel:{seed}"))
 
-        results: List[SimAccessResult] = [
-            self.client.query(point, t) for point, t in zip(points, issue_times)
-        ]
+        col = active_collector()
+        if col is not None:
+            col.count("sim.runs")
+            col.count(f"sim.index.{self.index_kind}.queries", n)
+            col.observe("sim.batch_size", n)
+        with col.span("sim.run") if col is not None else null_span(""):
+            results: List[SimAccessResult] = [
+                self.client.query(point, t)
+                for point, t in zip(points, issue_times)
+            ]
         return SimulationReport(
             index_kind=self.index_kind,
             policy=self.client.policy.name,

@@ -2,6 +2,7 @@
 
 import math
 
+import numpy as np
 import pytest
 
 from repro.errors import BroadcastError
@@ -11,6 +12,7 @@ from repro.broadcast.schedule import (
     expected_latency_formula,
     optimal_m,
 )
+from repro.engine.batch import QueryEngine
 
 PARAMS_1K = SystemParameters(packet_capacity=1024)  # 1 packet per bucket
 
@@ -105,3 +107,108 @@ class TestScheduleTimeline:
     def test_empty_regions_rejected(self):
         with pytest.raises(BroadcastError):
             BroadcastSchedule(1, [], PARAMS_1K)
+
+
+def _linear_next_index_start(sched, time):
+    """The pre-bisect linear-scan implementation, kept as the oracle."""
+    cycle, offset = divmod(time, sched.cycle_length)
+    for start in sched.index_segment_starts:
+        if start >= offset:
+            return int(cycle) * sched.cycle_length + start
+    return (int(cycle) + 1) * sched.cycle_length + sched.index_segment_starts[0]
+
+
+def _vectorized_next_index_starts(sched, times):
+    """``QueryEngine._next_index_starts`` on a stub (no index needed)."""
+
+    class _Stub:
+        schedule = sched
+        _segment_starts = np.asarray(sched.index_segment_starts, np.int64)
+
+    return QueryEngine._next_index_starts(_Stub(), np.asarray(times, np.float64))
+
+
+class TestNextIndexStartBisect:
+    """schedule.next_index_start moved from a linear scan to bisect; pin
+    it against the old scan and the engine's vectorized twin."""
+
+    def _schedules(self):
+        for m in (1, 2, 3, 7):
+            yield BroadcastSchedule(
+                index_packet_count=5,
+                region_ids=list(range(13)),
+                params=PARAMS_1K,
+                m=m,
+            )
+
+    def test_matches_linear_scan_oracle(self):
+        for sched in self._schedules():
+            # Sweep every integer offset plus awkward fractions around
+            # segment boundaries, across three cycles.
+            times = [
+                base * sched.cycle_length + t
+                for base in (0, 1, 2)
+                for t in range(sched.cycle_length)
+            ]
+            times += [s - 0.5 for s in sched.index_segment_starts]
+            times += [s + 0.5 for s in sched.index_segment_starts]
+            for t in times:
+                assert sched.next_index_start(t) == _linear_next_index_start(
+                    sched, t
+                ), (sched.m, t)
+
+    def test_scalar_matches_vectorized(self):
+        for sched in self._schedules():
+            times = np.linspace(0.0, 3.0 * sched.cycle_length, 301)
+            vec = _vectorized_next_index_starts(sched, times)
+            scalar = [sched.next_index_start(float(t)) for t in times]
+            assert vec.tolist() == scalar
+
+    def test_exact_segment_start_is_not_skipped(self):
+        sched = BroadcastSchedule(
+            index_packet_count=4, region_ids=list(range(10)), params=PARAMS_1K, m=2
+        )
+        for start in sched.index_segment_starts:
+            assert sched.next_index_start(float(start)) == start
+
+
+class TestSegmentForOffsetNegativeTime:
+    """Pin the ``time - offset < 0`` semantics: the shifted time wraps
+    into the previous cycle, and the answer is still the earliest
+    segment whose offset-th packet airs at or after the *original*
+    time."""
+
+    def _brute_force(self, sched, offset, time):
+        candidates = [
+            cyc * sched.cycle_length + start
+            for cyc in (-1, 0, 1, 2)
+            for start in sched.index_segment_starts
+        ]
+        return min(s for s in candidates if s + offset >= time)
+
+    def test_matches_brute_force(self):
+        sched = BroadcastSchedule(
+            index_packet_count=5, region_ids=list(range(13)), params=PARAMS_1K, m=3
+        )
+        for offset in (0, 1, 4, 7, sched.cycle_length - 1):
+            for time in [0.0, 0.5, 3.0, 17.0, float(sched.cycle_length - 1)]:
+                got = sched.segment_for_offset(offset, time)
+                assert got == self._brute_force(sched, offset, time), (
+                    offset,
+                    time,
+                )
+
+    def test_negative_shift_can_return_current_segment(self):
+        sched = BroadcastSchedule(
+            index_packet_count=4, region_ids=list(range(10)), params=PARAMS_1K, m=2
+        )
+        # At time 3.0 a client needing only packet >= 3 of the segment
+        # that started at 0 can still use it: 0 + 3 >= 3.
+        assert sched.segment_for_offset(3, 3.0) == 0
+
+    def test_negative_offset_rejected(self):
+        sched = BroadcastSchedule(
+            index_packet_count=4, region_ids=list(range(10)), params=PARAMS_1K, m=2
+        )
+        with pytest.raises(BroadcastError):
+            sched.segment_for_offset(-1, 5.0)

@@ -1,5 +1,7 @@
 """Tests for the command-line driver."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -46,3 +48,47 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Figure 11" in out
         assert "dtree" in out
+
+    def test_simulate_with_profile(self, capsys, tmp_path):
+        from repro.obs import active_collector, validate_profile
+
+        target = tmp_path / "trace.json"
+        status = main(
+            [
+                "simulate",
+                "--index",
+                "dtree",
+                "--regions",
+                "20",
+                "--queries",
+                "30",
+                "--error-rate",
+                "0.1",
+                "--profile",
+                str(target),
+            ]
+        )
+        assert status == 0
+        assert active_collector() is None  # uninstalled after the run
+        doc = json.loads(target.read_text())
+        assert validate_profile(doc)
+        assert doc["counters"]["sim.queries"] == 30
+        assert target.with_suffix(".csv").exists()
+        out = capsys.readouterr().out
+        assert "profile written" in out
+
+    def test_profile_off_by_default(self, tmp_path, monkeypatch):
+        # Without --profile no profile.json appears in the cwd.
+        monkeypatch.chdir(tmp_path)
+        main(
+            [
+                "simulate",
+                "--index",
+                "dtree",
+                "--regions",
+                "20",
+                "--queries",
+                "10",
+            ]
+        )
+        assert not (tmp_path / "profile.json").exists()

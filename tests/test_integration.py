@@ -17,7 +17,8 @@ from repro.broadcast.schedule import BroadcastSchedule
 from repro.core.dtree import DTree
 from repro.core.serialize import SerializedDTree
 from repro.datasets.catalog import hospital_dataset, uniform_dataset
-from repro.experiments.runner import INDEX_KINDS, build_index, page_index
+from repro.engine import index_family
+from repro.experiments.runner import INDEX_KINDS
 
 from tests.conftest import random_points_in
 
@@ -33,7 +34,7 @@ class TestFullPipeline:
     def test_end_to_end(self, pipeline_subjects, kind, workload):
         sub = pipeline_subjects[workload]
         params = SystemParameters.for_index(kind, 256)
-        paged = page_index(kind, build_index(kind, sub, seed=3), params)
+        paged = index_family(kind).build(sub, seed=3).page(params)
         schedule = BroadcastSchedule(
             index_packet_count=len(paged.packets),
             region_ids=sub.region_ids,
@@ -55,7 +56,7 @@ class TestFullPipeline:
     @pytest.mark.parametrize("kind", INDEX_KINDS)
     def test_metrics_are_internally_consistent(self, voronoi60, kind):
         params = SystemParameters.for_index(kind, 256)
-        paged = page_index(kind, build_index(kind, voronoi60, seed=3), params)
+        paged = index_family(kind).build(voronoi60, seed=3).page(params)
         points = random_points_in(voronoi60, 150, seed=4)
         metrics = evaluate_index(
             paged, voronoi60.region_ids, params, points, seed=5
@@ -72,7 +73,7 @@ class TestFullPipeline:
     def test_latency_reported_in_correct_units(self, voronoi60):
         # normalized_latency * optimal == mean latency in packets.
         params = SystemParameters.for_index("dtree", 512)
-        paged = page_index("dtree", build_index("dtree", voronoi60), params)
+        paged = index_family("dtree").build(voronoi60).page(params)
         points = random_points_in(voronoi60, 100, seed=6)
         metrics = evaluate_index(
             paged, voronoi60.region_ids, params, points, seed=7
@@ -116,7 +117,7 @@ class TestDatasetScaling:
             sub = dataset.subdivision
             sub.validate(samples=300)
             params = SystemParameters.for_index("dtree", 128)
-            paged = page_index("dtree", build_index("dtree", sub), params)
+            paged = index_family("dtree").build(sub).page(params)
             points = random_points_in(sub, 80, seed=3)
             metrics = evaluate_index(
                 paged, sub.region_ids, params, points, seed=4
@@ -132,7 +133,7 @@ class TestDatasetScaling:
             eff = {}
             for kind in INDEX_KINDS:
                 params = SystemParameters.for_index(kind, 256)
-                paged = page_index(kind, build_index(kind, sub, seed=7), params)
+                paged = index_family(kind).build(sub, seed=7).page(params)
                 eff[kind] = evaluate_index(
                     paged, sub.region_ids, params, points, seed=8
                 ).efficiency

@@ -179,3 +179,58 @@ class TestIssueTimes:
             scalar = [rng.uniform(0, length) for _ in range(n)]
             assert batch.tolist() == scalar
             assert batch.dtype == np.float64
+
+
+class TestObservabilityInertness:
+    """DESIGN.md §10 inertness contract: with or without an installed
+    ``repro.obs.Collector``, every engine result is bit-for-bit
+    identical — the collector only *reads* values the computation
+    produced anyway (no rng draws, no arithmetic)."""
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_enabled_run_is_array_exact(self, dataset, cells, kind):
+        from repro.obs import collecting
+
+        _, subdivision = dataset
+        paged, params = cells[kind]
+        points = _query_points(subdivision, kind)
+        baseline = evaluate_workload(
+            paged, subdivision.region_ids, params, points, seed=3
+        )
+        with collecting() as col:
+            collected = evaluate_workload(
+                paged, subdivision.region_ids, params, points, seed=3
+            )
+        # The collector saw the run ...
+        assert col.counters["engine.runs"] == 1
+        assert col.counters["engine.queries"] == len(points)
+        # ... and the run did not see the collector.
+        for name in (
+            "issue_times",
+            "region_ids",
+            "access_latency",
+            "index_tuning_time",
+            "total_tuning_time",
+        ):
+            got = getattr(collected, name)
+            want = getattr(baseline, name)
+            assert np.array_equal(got, want), name
+            assert got.dtype == want.dtype, name
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_summary_is_bit_identical(self, dataset, cells, kind):
+        from repro.obs import collecting
+
+        _, subdivision = dataset
+        paged, params = cells[kind]
+        points = _query_points(subdivision, kind)
+        region_ids = subdivision.region_ids
+        baseline = evaluate_workload(
+            paged, region_ids, params, points, seed=5
+        ).summary(region_ids, params)
+        with collecting():
+            collected = evaluate_workload(
+                paged, region_ids, params, points, seed=5
+            ).summary(region_ids, params)
+        for field in baseline.__slots__:
+            assert getattr(collected, field) == getattr(baseline, field), field

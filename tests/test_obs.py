@@ -1,0 +1,291 @@
+"""Unit tests for the ``repro.obs`` observability layer.
+
+The layer's contract (DESIGN.md §10) is threefold: counters/histograms/
+spans accumulate correctly when a collector is installed, nothing
+observable happens when none is, and the exported profile document
+validates against its own schema checker.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Collector,
+    Histogram,
+    NULL_SPAN,
+    PROFILE_SCHEMA,
+    active_collector,
+    collecting,
+    install,
+    null_span,
+    profile_csv,
+    profile_document,
+    uninstall,
+    validate_profile,
+    write_profile,
+)
+
+
+class TestHistogram:
+    def test_bucket_of_powers_of_two(self):
+        assert Histogram.bucket_of(0) == 1
+        assert Histogram.bucket_of(1) == 1
+        assert Histogram.bucket_of(2) == 2
+        assert Histogram.bucket_of(3) == 4
+        assert Histogram.bucket_of(4) == 4
+        assert Histogram.bucket_of(5) == 8
+        assert Histogram.bucket_of(1000) == 1024
+
+    def test_observe_accumulates(self):
+        hist = Histogram()
+        for v in (1, 2, 3, 100):
+            hist.observe(v)
+        assert hist.count == 4
+        assert hist.total == 106.0
+        assert hist.min == 1.0
+        assert hist.max == 100.0
+        assert hist.mean == 26.5
+        assert hist.buckets == {1: 1, 2: 1, 4: 1, 128: 1}
+
+    def test_bounded_size(self):
+        hist = Histogram()
+        for v in range(10_000):
+            hist.observe(v)
+        # Buckets are powers of two: ~log2(10000) of them, not 10000.
+        assert len(hist.buckets) <= 16
+        assert sum(hist.buckets.values()) == hist.count
+
+    def test_to_dict_fields(self):
+        hist = Histogram()
+        hist.observe(5)
+        d = hist.to_dict()
+        assert d["count"] == 1
+        assert d["buckets"] == {"8": 1}
+
+    def test_empty_histogram_mean(self):
+        assert Histogram().mean == 0.0
+
+
+class TestCollector:
+    def test_counters_accumulate(self):
+        col = Collector()
+        col.count("a")
+        col.count("a", 2)
+        col.count("b", 0.5)
+        assert col.counters == {"a": 3, "b": 0.5}
+
+    def test_observe_routes_to_named_histograms(self):
+        col = Collector()
+        col.observe("x", 3)
+        col.observe("x", 5)
+        col.observe("y", 1)
+        assert col.histograms["x"].count == 2
+        assert col.histograms["y"].count == 1
+
+    def test_observe_each(self):
+        col = Collector()
+        col.observe_each("x", [1, 2, 3])
+        assert col.histograms["x"].count == 3
+
+    def test_spans_record_nesting_and_timing(self):
+        col = Collector()
+        with col.span("outer"):
+            with col.span("inner"):
+                pass
+        names = [(s.name, s.parent) for s in col.spans]
+        assert names == [("inner", "outer"), ("outer", None)]
+        for s in col.spans:
+            assert s.elapsed_s >= 0
+            assert s.start_s >= 0
+
+    def test_span_totals_aggregates(self):
+        col = Collector()
+        for _ in range(3):
+            with col.span("loop"):
+                pass
+        totals = col.span_totals()
+        assert totals["loop"]["count"] == 3
+        assert totals["loop"]["total_s"] >= totals["loop"]["max_s"]
+
+    def test_max_spans_overflow_is_counted_not_raised(self):
+        col = Collector(max_spans=2)
+        for _ in range(5):
+            with col.span("s"):
+                pass
+        assert len(col.spans) == 2
+        assert col.dropped_spans == 3
+
+
+class TestInstallation:
+    def test_off_by_default(self):
+        assert active_collector() is None
+
+    def test_install_uninstall(self):
+        col = Collector()
+        assert install(col) is None
+        try:
+            assert active_collector() is col
+        finally:
+            assert uninstall() is col
+        assert active_collector() is None
+
+    def test_collecting_restores_previous(self):
+        outer = Collector()
+        with collecting(outer):
+            assert active_collector() is outer
+            with collecting() as inner:
+                assert active_collector() is inner
+                assert inner is not outer
+            assert active_collector() is outer
+        assert active_collector() is None
+
+    def test_collecting_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with collecting():
+                raise RuntimeError("boom")
+        assert active_collector() is None
+
+    def test_null_span_is_reusable_noop(self):
+        assert null_span("anything") is NULL_SPAN
+        with NULL_SPAN:
+            with NULL_SPAN:
+                pass  # reentrant
+
+
+class TestExport:
+    def _collector_with_data(self):
+        col = Collector()
+        col.count("engine.queries", 10)
+        col.observe("engine.batch_size", 10)
+        with col.span("engine.run"):
+            pass
+        return col
+
+    def test_document_validates(self):
+        doc = profile_document(self._collector_with_data())
+        assert validate_profile(doc) is doc
+        assert doc["schema"] == PROFILE_SCHEMA
+        assert doc["counters"]["engine.queries"] == 10
+
+    def test_document_version_matches_package(self):
+        import repro
+
+        doc = profile_document(Collector())
+        assert doc["version"] == repro.__version__
+
+    def test_document_is_json_serializable(self):
+        doc = profile_document(self._collector_with_data())
+        assert validate_profile(json.loads(json.dumps(doc)))
+
+    def test_csv_has_all_kinds(self):
+        text = profile_csv(self._collector_with_data())
+        lines = text.splitlines()
+        assert lines[0] == "kind,name,field,value"
+        kinds = {line.split(",")[0] for line in lines[1:]}
+        assert kinds == {"counter", "histogram", "span"}
+
+    def test_write_profile_emits_json_and_csv(self, tmp_path):
+        target = tmp_path / "profile.json"
+        path = write_profile(self._collector_with_data(), target)
+        assert path == target
+        doc = json.loads(target.read_text())
+        assert validate_profile(doc)
+        assert (tmp_path / "profile.csv").read_text().startswith("kind,")
+
+    @pytest.mark.parametrize(
+        "mutation, message",
+        [
+            (lambda d: d.pop("counters"), "missing key"),
+            (lambda d: d.update(schema="bogus/9"), "schema is"),
+            (lambda d: d["counters"].update(bad="nan"), "must be a number"),
+            (
+                lambda d: d["histograms"]["engine.batch_size"]["buckets"].update(
+                    {"2": 99}
+                ),
+                "do not sum",
+            ),
+            (lambda d: d.update(dropped_spans=-1), "dropped_spans"),
+            (lambda d: d["spans"][0].pop("elapsed_s"), "span record missing"),
+        ],
+    )
+    def test_validate_rejects_malformed(self, mutation, message):
+        doc = profile_document(self._collector_with_data())
+        mutation(doc)
+        with pytest.raises(ValueError, match=message):
+            validate_profile(doc)
+
+
+class TestInstrumentationSmoke:
+    """The instrumented subsystems emit their taxonomy when collected."""
+
+    def test_engine_counters(self, voronoi60):
+        from repro.broadcast.params import SystemParameters
+        from repro.engine import index_family
+        from repro.engine.batch import evaluate_workload
+
+        from tests.conftest import random_points_in
+
+        params = SystemParameters.for_index("dtree", 256)
+        paged = index_family("dtree").build(voronoi60, seed=0).page(params)
+        points = random_points_in(voronoi60, 30, seed=1)
+        with collecting() as col:
+            result = evaluate_workload(
+                paged, voronoi60.region_ids, params, points, seed=2
+            )
+            result.summary(voronoi60.region_ids, params)
+        assert col.counters["engine.runs"] == 1
+        assert col.counters["engine.queries"] == 30
+        assert col.counters["engine.probes"] == 30
+        assert col.counters["engine.packets.index"] > 0
+        assert col.counters["trace.PagedDTree.queries"] == 30
+        assert col.histograms["engine.batch_size"].count == 1
+        assert col.histograms["trace.dtree.frontier_width"].count > 0
+        span_names = {s.name for s in col.spans}
+        assert {"engine.run", "engine.trace", "engine.timeline",
+                "engine.summary"} <= span_names
+        parents = {s.name: s.parent for s in col.spans}
+        assert parents["engine.trace"] == "engine.run"
+        assert parents["engine.timeline"] == "engine.run"
+
+    def test_simulation_counters(self, voronoi60):
+        from repro.broadcast.params import SystemParameters
+        from repro.engine import index_family
+        from repro.simulation import simulate_workload
+
+        from tests.conftest import random_points_in
+
+        params = SystemParameters.for_index("dtree", 256)
+        paged = index_family("dtree").build(voronoi60, seed=0).page(params)
+        points = random_points_in(voronoi60, 25, seed=3)
+        with collecting() as col:
+            simulate_workload(
+                paged,
+                voronoi60.region_ids,
+                params,
+                points,
+                seed=4,
+                error_rate=0.05,
+                index_kind="dtree",
+            )
+        assert col.counters["sim.runs"] == 1
+        assert col.counters["sim.queries"] == 25
+        assert col.counters["sim.index.dtree.queries"] == 25
+        assert col.counters["sim.read_attempts"] > 0
+        assert col.counters["sim.energy.receive_j"] > 0
+        assert col.counters["sim.energy.doze_j"] > 0
+        assert "sim.run" in {s.name for s in col.spans}
+
+    def test_kernel_histograms(self, voronoi60):
+        from repro.geometry.kernels import CompiledSubdivision
+
+        from tests.conftest import random_points_in
+
+        compiled = CompiledSubdivision(voronoi60)
+        points = random_points_in(voronoi60, 20, seed=5)
+        with collecting() as col:
+            compiled.locate_coords(
+                [p.x for p in points], [p.y for p in points]
+            )
+        assert col.histograms["kernels.locate_batch.size"].count == 1
+        assert col.histograms["kernels.locate_batch.size"].max == 20.0

@@ -624,3 +624,67 @@ class TestCliAndRunner:
         assert set(out) == set(ALL_POLICIES)
         for per_rate in out.values():
             assert "latency_p99" in per_rate[0.05]
+
+
+class TestObservabilityInertness:
+    """An installed ``repro.obs.Collector`` must not perturb the
+    simulation: same seed with and without collection gives the exact
+    same report (the collector never draws from the channel rng), and
+    the counters it records agree with the report's own arrays."""
+
+    def _simulate(self, cell, *, error_rate, cache_packets=0, seed=9):
+        paged, sub, params = cell
+        points = random_points_in(sub, QUERIES, seed=31)
+        return simulate_workload(
+            paged,
+            sub.region_ids,
+            params,
+            points,
+            error_rate=error_rate,
+            seed=seed,
+            cache_packets=cache_packets,
+            index_kind="dtree",
+        )
+
+    @pytest.mark.parametrize("error_rate", [0.0, 0.1])
+    def test_report_identical_under_collection(self, dtree_cell, error_rate):
+        from repro.obs import collecting
+
+        baseline = self._simulate(dtree_cell, error_rate=error_rate)
+        with collecting():
+            collected = self._simulate(dtree_cell, error_rate=error_rate)
+        assert collected == baseline
+
+    def test_counters_agree_with_report(self, dtree_cell):
+        from repro.obs import collecting
+
+        with collecting() as col:
+            report = self._simulate(dtree_cell, error_rate=0.1)
+        assert col.counters["sim.queries"] == len(report)
+        assert col.counters["sim.losses"] == report.total_losses
+        assert col.counters["sim.read_attempts"] == int(
+            report.read_attempts.sum()
+        )
+        assert col.counters["sim.index.dtree.queries"] == len(report)
+        # Receive + doze components recompose to the charged energy.
+        total_j = col.counters["sim.energy.receive_j"] + col.counters[
+            "sim.energy.doze_j"
+        ]
+        assert total_j == pytest.approx(float(report.energy_joules.sum()))
+
+    def test_recovery_counter_fires_under_loss(self, dtree_cell):
+        from repro.obs import collecting
+
+        with collecting() as col:
+            report = self._simulate(dtree_cell, error_rate=0.2)
+        assert report.total_losses > 0
+        assert col.counters.get("sim.recovery.retry-next-segment", 0) > 0
+        assert col.counters["sim.retries"] > 0
+
+    def test_cache_counters_fire(self, dtree_cell):
+        from repro.obs import collecting
+
+        with collecting() as col:
+            self._simulate(dtree_cell, error_rate=0.0, cache_packets=8)
+        assert col.counters.get("sim.cache.hits", 0) > 0
+        assert col.counters.get("sim.cache.misses", 0) > 0
