@@ -1,0 +1,103 @@
+"""Multi-channel broadcast benchmarks: K-channel plans vs the (1, m) baseline.
+
+One cell per (K, index placement): the whole workload through the batched
+engine on a :class:`~repro.broadcast.plan.BroadcastPlan`, recording the
+wall-clock median in ``BENCH_multichannel.json`` and printing the
+latency/tuning deltas against the single-channel baseline.  The headline
+acceptance property is asserted, not just printed: at K=4 the p50 access
+latency beats the (1, m) baseline at equal-or-lower mean tuning time.
+
+CI smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the dataset and workload
+so the suite doubles as a regression gate without the full run time.
+"""
+
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.broadcast import BroadcastPlan
+from repro.datasets.catalog import uniform_dataset
+from repro.engine import evaluate_workload, index_family
+
+from _recorder import record_case, run_recorded
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SUITE = "multichannel"
+KIND = "dtree"
+CAPACITY = 256
+REGIONS = 40 if SMOKE else 120
+QUERIES = 120 if SMOKE else 600
+CHANNEL_COUNTS = (1, 2, 4)
+PLACEMENTS = ("replicated", "distributed")
+
+
+@pytest.fixture(scope="module")
+def cell():
+    """Dataset, paged index and workload shared by every (K, placement)."""
+    dataset = uniform_dataset(n=REGIONS, seed=42)
+    subdivision = dataset.subdivision
+    family = index_family(KIND)
+    params = family.parameters(CAPACITY)
+    paged = family.build(subdivision, seed=7).page(params)
+    rng = random.Random(11)
+    points = [subdivision.random_point(rng) for _ in range(QUERIES)]
+    return subdivision, paged, params, points
+
+
+def _evaluate(cell_data, channels, placement):
+    subdivision, paged, params, points = cell_data
+    plan = BroadcastPlan(
+        len(paged.packets),
+        subdivision.region_ids,
+        params,
+        channels=channels,
+        index_placement=placement,
+    )
+    result = evaluate_workload(
+        paged, subdivision.region_ids, params, points, seed=7, plan=plan
+    )
+    return plan, result
+
+
+@pytest.mark.parametrize("placement", PLACEMENTS)
+@pytest.mark.parametrize("channels", CHANNEL_COUNTS)
+def test_bench_plan_workload(benchmark, cell, channels, placement):
+    plan, result = run_recorded(
+        benchmark,
+        lambda: _evaluate(cell, channels, placement),
+        SUITE,
+        f"engine-K{channels}-{placement}",
+    )
+    latency = np.asarray(result.access_latency, float)
+    tuning = np.asarray(result.total_tuning_time, float)
+    record_case(
+        SUITE,
+        f"latency_p50-K{channels}-{placement}",
+        float(np.percentile(latency, 50)),
+    )
+    print(
+        f"\n  K={channels} {placement}: m={plan.m} cycle={plan.cycle_length} "
+        f"latency mean/p50 = {latency.mean():.1f}/{np.percentile(latency, 50):.1f}p, "
+        f"tuning mean = {tuning.mean():.2f}p"
+    )
+    assert len(latency) == QUERIES
+
+
+@pytest.mark.parametrize("placement", PLACEMENTS)
+def test_k4_beats_single_channel_baseline(cell, placement):
+    """The acceptance property: K=4 beats the (1, m) baseline on p50
+    access latency at equal-or-lower mean tuning time."""
+    _, base = _evaluate(cell, 1, "replicated")
+    _, multi = _evaluate(cell, 4, placement)
+    base_p50 = float(np.percentile(base.access_latency, 50))
+    multi_p50 = float(np.percentile(multi.access_latency, 50))
+    assert multi_p50 < base_p50, (
+        f"K=4 {placement} p50 {multi_p50:.1f} not below baseline {base_p50:.1f}"
+    )
+    assert multi.total_tuning_time.mean() <= base.total_tuning_time.mean()
+    assert np.array_equal(base.region_ids, multi.region_ids)
+    record_case(
+        SUITE, f"latency_p50_speedup-K4-{placement}", base_p50 / multi_p50
+    )

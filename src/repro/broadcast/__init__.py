@@ -11,8 +11,22 @@ access latency, tuning time and indexing efficiency.
 from repro.broadcast.params import SystemParameters, PACKET_CAPACITIES
 from repro.broadcast.packets import Packet, PacketStore, QueryTrace, PagedIndex
 from repro.broadcast.schedule import BroadcastSchedule, optimal_m
-from repro.broadcast.client import BroadcastClient, AccessResult
+from repro.broadcast.client import BroadcastClient, AccessResult, run_workload
 from repro.broadcast.caching import CachingBroadcastClient, PacketCache
+from repro.broadcast.channels import (
+    Channel,
+    ChannelHoppingClient,
+    HopAccessResult,
+)
+from repro.broadcast.plan import (
+    ALLOCATION_REGISTRY,
+    INDEX_PLACEMENTS,
+    AllocationStrategy,
+    BroadcastPlan,
+    allocation_strategy,
+    available_allocations,
+    register_allocation,
+)
 from repro.broadcast.disks import (
     SkewedBroadcastSchedule,
     square_root_frequencies,
@@ -29,6 +43,17 @@ from repro.broadcast.metrics import (
 )
 
 __all__ = [
+    "ALLOCATION_REGISTRY",
+    "AllocationStrategy",
+    "BroadcastPlan",
+    "Channel",
+    "ChannelHoppingClient",
+    "HopAccessResult",
+    "INDEX_PLACEMENTS",
+    "allocation_strategy",
+    "available_allocations",
+    "register_allocation",
+    "run_workload",
     "SystemParameters",
     "PACKET_CAPACITIES",
     "Packet",

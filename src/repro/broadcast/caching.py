@@ -60,21 +60,46 @@ class PacketCache:
 
 
 class CachingBroadcastClient:
-    """A broadcast client with an LRU cache of index packets."""
+    """A broadcast client with an LRU cache of index packets.
+
+    The timeline may be a :class:`~repro.broadcast.schedule.BroadcastSchedule`
+    or a :class:`~repro.broadcast.plan.BroadcastPlan` — a K=1 plan
+    delegates bit-for-bit to its single channel's schedule, a K>1 plan
+    routes queries through a cache-carrying
+    :class:`~repro.broadcast.channels.ChannelHoppingClient` (which
+    shares this client's cache instance).
+    """
 
     def __init__(
         self, paged_index: PagedIndex, schedule, cache_packets: int = 8
     ) -> None:
+        from repro.broadcast.plan import BroadcastPlan
+
         self.paged_index = paged_index
+        self._hopping = None
+        if isinstance(schedule, BroadcastPlan):
+            if schedule.is_single_channel:
+                schedule = schedule.primary_schedule
+            else:
+                from repro.broadcast.channels import ChannelHoppingClient
+
+                self._hopping = ChannelHoppingClient(
+                    paged_index, schedule, cache_packets=cache_packets
+                )
         self.schedule = schedule
         if len(paged_index.packets) != schedule.index_packet_count:
             raise BroadcastError(
                 "schedule was built for a different index size"
             )
-        self.cache = PacketCache(cache_packets)
+        if self._hopping is not None:
+            self.cache = self._hopping.cache
+        else:
+            self.cache = PacketCache(cache_packets)
 
     def query(self, point: Point, issue_time: float) -> AccessResult:
         """Run the access protocol, charging only cache misses."""
+        if self._hopping is not None:
+            return self._hopping.query(point, issue_time)
         trace = self.paged_index.trace(point)
         accessed = trace.packets_accessed
         if any(b < a for a, b in zip(accessed, accessed[1:])):

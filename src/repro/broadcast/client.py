@@ -12,13 +12,59 @@
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+import warnings
+from typing import List, Optional, Sequence
 
 from repro.errors import BroadcastError
 from repro.geometry.point import Point
 from repro.obs import active_collector
 from repro.broadcast.packets import PagedIndex, QueryTrace
 from repro.broadcast.schedule import BroadcastSchedule
+
+
+def run_workload(
+    client,
+    points: Sequence[Point],
+    *,
+    issue_times: Optional[Sequence[float]] = None,
+    seed: int = 0,
+    rng: Optional[random.Random] = None,
+) -> List["AccessResult"]:
+    """The unified workload runner: query each point at a uniform-random
+    instant of the broadcast cycle.
+
+    This is the one keyword-only entry point shared by every client —
+    :class:`BroadcastClient`,
+    :class:`~repro.broadcast.channels.ChannelHoppingClient` and
+    :class:`~repro.simulation.client.UnreliableBroadcastClient` — whose
+    ``run_workload`` methods all delegate here.  *client* needs only a
+    ``query(point, issue_time)`` method and a broadcast timeline (its
+    ``cycle_length`` or a ``schedule``/``plan`` that has one).
+
+    Pass *rng* to draw issue times from an externally owned stream (one
+    shared across components for reproducible runs); otherwise a fresh
+    ``random.Random(seed)`` is used.  Explicit *issue_times* bypass the
+    rng entirely.
+    """
+    if issue_times is not None:
+        if len(issue_times) != len(points):
+            raise BroadcastError(
+                f"{len(issue_times)} issue times for {len(points)} query points"
+            )
+        return [client.query(p, t) for p, t in zip(points, issue_times)]
+    if rng is None:
+        rng = random.Random(seed)
+    length = _client_cycle_length(client)
+    return [client.query(p, rng.uniform(0, length)) for p in points]
+
+
+def _client_cycle_length(client) -> float:
+    """The issue-time horizon of *client*'s broadcast timeline."""
+    length = getattr(client, "cycle_length", None)
+    if length is not None:
+        return length
+    timeline = getattr(client, "schedule", None) or getattr(client, "plan")
+    return timeline.cycle_length
 
 
 class AccessResult:
@@ -59,10 +105,28 @@ class AccessResult:
 
 
 class BroadcastClient:
-    """Simulates a mobile client against one paged index + schedule."""
+    """Simulates a mobile client against one paged index + timeline.
 
-    def __init__(self, paged_index: PagedIndex, schedule: BroadcastSchedule) -> None:
+    The timeline is a :class:`BroadcastSchedule` or a
+    :class:`~repro.broadcast.plan.BroadcastPlan`: a K=1 plan delegates
+    bit-for-bit to its single channel's schedule, a K>1 plan routes every
+    query through a
+    :class:`~repro.broadcast.channels.ChannelHoppingClient`.
+    """
+
+    def __init__(self, paged_index: PagedIndex, schedule) -> None:
+        # Imported lazily: channels.py imports AccessResult from here.
+        from repro.broadcast.plan import BroadcastPlan
+
         self.paged_index = paged_index
+        self._hopping = None
+        if isinstance(schedule, BroadcastPlan):
+            if schedule.is_single_channel:
+                schedule = schedule.primary_schedule
+            else:
+                from repro.broadcast.channels import ChannelHoppingClient
+
+                self._hopping = ChannelHoppingClient(paged_index, schedule)
         self.schedule = schedule
         if len(paged_index.packets) != schedule.index_packet_count:
             raise BroadcastError(
@@ -70,9 +134,16 @@ class BroadcastClient:
                 f"packets but the paged index has {len(paged_index.packets)}"
             )
 
+    @property
+    def cycle_length(self) -> int:
+        """Issue-time horizon of the underlying timeline."""
+        return self.schedule.cycle_length
+
     def query(self, point: Point, issue_time: float) -> AccessResult:
         """Run the full access protocol for a query issued at *issue_time*
         (absolute packet position on the broadcast timeline)."""
+        if self._hopping is not None:
+            return self._hopping.query(point, issue_time)
         # Step 1: initial probe — one packet read to learn the next index
         # segment offset, then doze.
         segment_start = self.schedule.next_index_start(issue_time)
@@ -115,23 +186,30 @@ class BroadcastClient:
     def run_workload(
         self,
         points: List[Point],
-        seed: int = 0,
+        *args,
         issue_times: Optional[List[float]] = None,
+        seed: int = 0,
         rng: Optional[random.Random] = None,
     ) -> List[AccessResult]:
         """Query each point at a uniform-random instant in the cycle.
 
-        Pass *rng* to draw issue times from an externally owned stream
-        (e.g. one shared across components for reproducible runs);
-        otherwise a fresh ``random.Random(seed)`` is used.
+        This is the shared keyword-only workload signature (see the
+        module-level :func:`run_workload`).  The historical positional
+        form ``run_workload(points, seed, issue_times, rng)`` still
+        works but is deprecated.
         """
-        if rng is None:
-            rng = random.Random(seed)
-        results = []
-        for i, p in enumerate(points):
-            if issue_times is not None:
-                t = issue_times[i]
-            else:
-                t = rng.uniform(0, self.schedule.cycle_length)
-            results.append(self.query(p, t))
-        return results
+        if args:
+            warnings.warn(
+                "positional seed/issue_times/rng arguments to "
+                "run_workload are deprecated; pass them as keywords "
+                "(run_workload(points, seed=..., issue_times=...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            legacy = dict(zip(("seed", "issue_times", "rng"), args))
+            seed = legacy.get("seed", seed)
+            issue_times = legacy.get("issue_times", issue_times)
+            rng = legacy.get("rng", rng)
+        return run_workload(
+            self, points, issue_times=issue_times, seed=seed, rng=rng
+        )

@@ -11,6 +11,7 @@ share a channel.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import BroadcastError
@@ -22,7 +23,14 @@ from repro.broadcast.schedule import BroadcastSchedule
 
 
 class Service:
-    """One data type's index and broadcast program."""
+    """One data type's index and broadcast program.
+
+    ``plan=`` accepts a single-channel
+    :class:`~repro.broadcast.plan.BroadcastPlan` in place of the
+    schedule parameters (the plan's one timeline is multiplexed).  A
+    K>1 plan is rejected: the super cycle lays services end to end on
+    *one* channel, so a multi-channel program cannot be multiplexed.
+    """
 
     def __init__(
         self,
@@ -31,15 +39,30 @@ class Service:
         region_ids,
         params: SystemParameters,
         m: Optional[int] = None,
+        plan=None,
     ) -> None:
         self.name = name
         self.paged_index = paged_index
-        self.schedule = BroadcastSchedule(
-            index_packet_count=len(paged_index.packets),
-            region_ids=list(region_ids),
-            params=params,
-            m=m,
-        )
+        if plan is not None:
+            if not plan.is_single_channel:
+                raise BroadcastError(
+                    f"service {name!r}: a multiplexed super cycle airs on "
+                    f"one channel; a {plan.num_channels}-channel plan "
+                    "cannot be multiplexed"
+                )
+            self.schedule = plan.primary_schedule
+            if len(paged_index.packets) != self.schedule.index_packet_count:
+                raise BroadcastError(
+                    f"service {name!r}: plan was built for a different "
+                    "index size"
+                )
+        else:
+            self.schedule = BroadcastSchedule(
+                index_packet_count=len(paged_index.packets),
+                region_ids=list(region_ids),
+                params=params,
+                m=m,
+            )
 
     def __repr__(self) -> str:
         return f"Service({self.name!r}, {self.schedule!r})"
@@ -71,6 +94,15 @@ class MultiplexedBroadcast:
             self.offsets[service.name] = position
             position += service.schedule.cycle_length
         self.cycle_length = position
+        # Per-service index-segment starts as absolute super-cycle
+        # positions, precomputed sorted so lookups can binary-search.
+        self._index_positions: Dict[str, List[int]] = {
+            name: [
+                self.offsets[name] + start
+                for start in service.schedule.index_segment_starts
+            ]
+            for name, service in self.services.items()
+        }
 
     def service(self, name: str) -> Service:
         try:
@@ -84,20 +116,28 @@ class MultiplexedBroadcast:
 
     def _next_occurrence(self, positions: List[int], time: float) -> float:
         """First absolute position >= *time* among per-super-cycle
-        *positions* (offsets within one super cycle)."""
+        *positions* (sorted offsets within one super cycle).
+
+        Binary search instead of scanning all 2x len(positions)
+        candidates; the boundary nudges keep the float comparison
+        ``base + p >= time`` authoritative (``bisect`` compares ``p``
+        against ``time - base``, which can round the other way at ulp
+        distance).
+        """
         base = (time // self.cycle_length) * self.cycle_length
-        candidates = [base + p for p in positions]
-        candidates += [base + self.cycle_length + p for p in positions]
-        return min(c for c in candidates if c >= time)
+        i = bisect_left(positions, time - base)
+        while i > 0 and base + positions[i - 1] >= time:
+            i -= 1
+        while i < len(positions) and base + positions[i] < time:
+            i += 1
+        if i == len(positions):
+            return base + self.cycle_length + positions[0]
+        return base + positions[i]
 
     def next_index_start(self, name: str, time: float) -> float:
         """Absolute position of the next index segment of *name*."""
-        service = self.service(name)
-        offset = self.offsets[name]
-        positions = [
-            offset + start for start in service.schedule.index_segment_starts
-        ]
-        return self._next_occurrence(positions, time)
+        self.service(name)  # raise on unknown names
+        return self._next_occurrence(self._index_positions[name], time)
 
     def next_bucket_arrival(self, name: str, region_id: int, time: float) -> float:
         service = self.service(name)

@@ -1,19 +1,24 @@
-"""Command-line experiment driver: ``python -m repro <figure> [options]``.
+"""Command-line experiment driver: ``python -m repro <command> [options]``.
 
-Examples::
+Subcommands::
 
-    python -m repro figure10 --scale quick
-    python -m repro figure12 --scale paper --queries 2000
-    python -m repro all --scale quick
-    python -m repro ablations
+    python -m repro run figure10 --scale quick
+    python -m repro run figure12 --scale paper --queries 2000
+    python -m repro run all --scale quick
+    python -m repro run ablations
     python -m repro indexes
     python -m repro simulate --queries 200 --error-rate 0.1 --seed 7
     python -m repro simulate --profile trace.json
-    python -m repro figure12 --profile figure12-profile.json
+    python -m repro broadcast --channels 4 --index-placement distributed
+    python -m repro broadcast --list-allocations
 
-``--profile [PATH]`` installs a :class:`repro.obs.Collector` around the
-run and writes its counters/histograms/spans as one JSON document (plus
-a flat CSV next to it) — see DESIGN.md §10 for the counter taxonomy.
+The pre-1.5 single-positional form (``python -m repro figure10``) still
+works but emits a :class:`DeprecationWarning` and forwards to ``run``.
+
+``--profile [PATH]`` (valid after any subcommand) installs a
+:class:`repro.obs.Collector` around the run and writes its
+counters/histograms/spans as one JSON document (plus a flat CSV next to
+it) — see DESIGN.md §10 for the counter taxonomy.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import warnings
 from typing import List, Optional
 
 from repro.experiments.ablations import (
@@ -43,6 +49,9 @@ _FIGURES = {
     "figure13": figure13,
 }
 
+#: Pre-subcommand spellings still accepted as ``repro <target>``.
+_LEGACY_TARGETS = sorted(_FIGURES) + ["all", "ablations"]
+
 
 def _config_for(scale: str, queries: Optional[int], seed: int) -> ExperimentConfig:
     if scale == "paper":
@@ -52,7 +61,7 @@ def _config_for(scale: str, queries: Optional[int], seed: int) -> ExperimentConf
     raise SystemExit(f"unknown scale {scale!r} (use 'paper' or 'quick')")
 
 
-def _list_indexes() -> None:
+def _cmd_indexes(args) -> int:
     """Print the registered index families (the AirIndex registry)."""
     from repro.engine import INDEX_REGISTRY
 
@@ -63,9 +72,10 @@ def _list_indexes() -> None:
             f"{family.display_name:<12} {family.header_size:>5}B "
             f"{family.pointer_size:>6}B"
         )
+    return 0
 
 
-def _run_simulate(args) -> int:
+def _cmd_simulate(args) -> int:
     """Simulate every selected index family on a lossy channel and print
     the tail-percentile table."""
     from repro.datasets.catalog import uniform_dataset
@@ -102,134 +112,84 @@ def _run_simulate(args) -> int:
     return 0
 
 
-def _run_ablations() -> None:
-    print("== A1: inter-prob tie-break (mean index tuning, packets) ==")
-    for label, row in ablation_tie_break().items():
-        print(f"  {label:<22} {row}")
-    print("== A2: RMC/LMC early termination (mean index tuning, packets) ==")
-    for label, row in ablation_early_termination().items():
-        print(f"  {label:<22} {row}")
-    print("== A3: top-down paging (index packets / tuning) ==")
-    for label, row in ablation_top_down_paging().items():
-        print(f"  {label:<22} {row}")
-    print("== A4: (1, m) interleaving (normalized latency) ==")
-    for label, row in ablation_interleaving().items():
-        print(f"  {label:<22} {row}")
-    print("== A5 (extension): complement-extent styles (packets / tuning) ==")
-    for label, row in ablation_extended_styles().items():
-        print(f"  {label:<22} {row}")
+def _cmd_broadcast(args) -> int:
+    """Evaluate a multi-channel :class:`~repro.broadcast.plan.BroadcastPlan`
+    against the single-channel (1, m) baseline."""
+    import numpy as np
 
+    from repro.broadcast.plan import ALLOCATION_REGISTRY
+    from repro.datasets.catalog import uniform_dataset
+    from repro.engine import available_index_kinds
+    from repro.experiments.runner import run_multichannel_cell
 
-def main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Reproduce the D-tree paper's figures (ICDE 2003).",
-    )
-    parser.add_argument(
-        "target",
-        choices=sorted(_FIGURES) + ["all", "ablations", "indexes", "simulate"],
-        help="which figure(s) to regenerate ('indexes' lists the "
-        "registered AirIndex families, 'simulate' runs the "
-        "faulty-channel simulator)",
-    )
-    parser.add_argument(
-        "--scale",
-        default="quick",
-        choices=("quick", "paper"),
-        help="dataset scale: 'paper' = N of the original evaluation",
-    )
-    parser.add_argument("--queries", type=int, default=None)
-    parser.add_argument("--seed", type=int, default=7)
-    parser.add_argument(
-        "--chart",
-        action="store_true",
-        help="also render each figure as an ASCII chart",
-    )
-    parser.add_argument(
-        "--csv-dir",
-        default=None,
-        help="also write each figure's series as CSV into this directory",
-    )
-    parser.add_argument(
-        "--profile",
-        nargs="?",
-        const="profile.json",
-        default=None,
-        metavar="PATH",
-        help="collect counters/spans for the run and write them as JSON "
-        "to PATH (default profile.json; a flat CSV lands next to it)",
-    )
-    sim = parser.add_argument_group("simulate", "faulty-channel options")
-    sim.add_argument(
-        "--error-rate",
-        type=float,
-        default=0.05,
-        help="packet loss probability (long-run rate for both models)",
-    )
-    sim.add_argument(
-        "--error-model",
-        default="bernoulli",
-        choices=("bernoulli", "gilbert"),
-        help="i.i.d. loss or Gilbert-Elliott bursty loss",
-    )
-    sim.add_argument(
-        "--policy",
-        default="retry-next-segment",
-        choices=(
-            "retry-next-segment",
-            "retry-next-cycle",
-            "upper-bound-fallback",
-        ),
-        help="client recovery policy for lost index packets",
-    )
-    sim.add_argument(
-        "--index",
-        default="all",
-        help="one registered index kind, or 'all' (default)",
-    )
-    sim.add_argument(
-        "--regions",
-        type=int,
-        default=60,
-        help="service-area regions in the simulated dataset",
-    )
-    sim.add_argument(
-        "--capacity", type=int, default=256, help="packet capacity, bytes"
-    )
-    sim.add_argument(
-        "--cache",
-        type=int,
-        default=0,
-        help="client LRU packet-cache capacity (0 = no cache)",
-    )
-    sim.add_argument(
-        "--burst",
-        type=float,
-        default=4.0,
-        help="mean burst length for the gilbert model, packets",
-    )
-    args = parser.parse_args(argv)
-
-    if args.profile:
-        from repro.obs import collecting, write_profile
-
-        with collecting() as col:
-            status = _dispatch(args)
-        path = write_profile(col, args.profile)
-        print(f"[profile written to {path} and {path.with_suffix('.csv')}]")
-        return status
-    return _dispatch(args)
-
-
-def _dispatch(args) -> int:
-    """Run the selected target (profiled or not)."""
-    if args.target == "simulate":
-        return _run_simulate(args)
-    if args.target == "ablations":
-        _run_ablations()
+    if args.list_allocations:
+        print(f"{'allocation':<18} description")
+        for name, strategy in ALLOCATION_REGISTRY.items():
+            print(f"{name:<18} {strategy.description}")
         return 0
-    if args.target == "indexes":
-        _list_indexes()
+
+    kinds = (
+        available_index_kinds() if args.index == "all" else [args.index]
+    )
+    dataset = uniform_dataset(n=args.regions, seed=args.seed)
+    queries = args.queries or 400
+    print(
+        f"# {queries} queries, {args.regions} regions, "
+        f"{args.capacity}B packets, K={args.channels} "
+        f"({args.allocation}, {args.index_placement} index, "
+        f"hop cost {args.hop_cost:g}), seed {args.seed}"
+    )
+    print(
+        f"{'index':<8} {'K':>2} {'m':>3} {'cycle':>6}  "
+        f"{'latency mean':>12} {'p50':>8}  {'tuning':>7}"
+    )
+    for kind in kinds:
+        base_plan, base = run_multichannel_cell(
+            dataset, kind, args.capacity, queries=queries, seed=args.seed,
+            channels=1,
+        )
+        rows = [(base_plan, base)]
+        if args.channels > 1:
+            rows.append(
+                run_multichannel_cell(
+                    dataset, kind, args.capacity,
+                    queries=queries, seed=args.seed,
+                    channels=args.channels,
+                    allocation=args.allocation,
+                    index_placement=args.index_placement,
+                    hop_cost=args.hop_cost,
+                )
+            )
+        for plan, result in rows:
+            latency = np.asarray(result.access_latency, float)
+            tuning = np.asarray(result.total_tuning_time, float)
+            print(
+                f"{kind:<8} {plan.num_channels:>2} {plan.m:>3} "
+                f"{plan.cycle_length:>6}  "
+                f"{latency.mean():>12.1f} {np.percentile(latency, 50):>8.1f}  "
+                f"{tuning.mean():>7.2f}"
+            )
+    return 0
+
+
+def _cmd_run(args) -> int:
+    """Regenerate figures (or the ablation suite)."""
+    if args.target == "ablations":
+        print("== A1: inter-prob tie-break (mean index tuning, packets) ==")
+        for label, row in ablation_tie_break().items():
+            print(f"  {label:<22} {row}")
+        print("== A2: RMC/LMC early termination (mean index tuning, packets) ==")
+        for label, row in ablation_early_termination().items():
+            print(f"  {label:<22} {row}")
+        print("== A3: top-down paging (index packets / tuning) ==")
+        for label, row in ablation_top_down_paging().items():
+            print(f"  {label:<22} {row}")
+        print("== A4: (1, m) interleaving (normalized latency) ==")
+        for label, row in ablation_interleaving().items():
+            print(f"  {label:<22} {row}")
+        print("== A5 (extension): complement-extent styles (packets / tuning) ==")
+        for label, row in ablation_extended_styles().items():
+            print(f"  {label:<22} {row}")
         return 0
 
     config = _config_for(args.scale, args.queries, args.seed)
@@ -252,6 +212,201 @@ def _dispatch(args) -> int:
             print(f"[wrote {out_file}]")
         print(f"[{name} done in {time.time() - start:.1f}s]\n")
     return 0
+
+
+def _translate_legacy(argv: List[str]) -> List[str]:
+    """Map the pre-subcommand spelling onto ``run`` with a warning."""
+    if argv and argv[0] in _LEGACY_TARGETS:
+        warnings.warn(
+            f"'python -m repro {argv[0]}' is deprecated; use "
+            f"'python -m repro run {argv[0]}'",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return ["run"] + argv
+    return argv
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--profile",
+        nargs="?",
+        const="profile.json",
+        default=None,
+        metavar="PATH",
+        help="collect counters/spans for the run and write them as JSON "
+        "to PATH (default profile.json; a flat CSV lands next to it)",
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the D-tree paper's figures (ICDE 2003).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run",
+        parents=[common],
+        help="regenerate figures or the ablation suite",
+    )
+    run.add_argument(
+        "target",
+        choices=sorted(_FIGURES) + ["all", "ablations"],
+        help="which figure(s) to regenerate, or 'ablations'",
+    )
+    run.add_argument(
+        "--scale",
+        default="quick",
+        choices=("quick", "paper"),
+        help="dataset scale: 'paper' = N of the original evaluation",
+    )
+    run.add_argument("--queries", type=int, default=None)
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render each figure as an ASCII chart",
+    )
+    run.add_argument(
+        "--csv-dir",
+        default=None,
+        help="also write each figure's series as CSV into this directory",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    indexes = sub.add_parser(
+        "indexes",
+        parents=[common],
+        help="list the registered AirIndex families",
+    )
+    indexes.set_defaults(func=_cmd_indexes)
+
+    simulate = sub.add_parser(
+        "simulate",
+        parents=[common],
+        help="run the faulty-channel simulator",
+    )
+    simulate.add_argument("--queries", type=int, default=None)
+    simulate.add_argument("--seed", type=int, default=7)
+    simulate.add_argument(
+        "--error-rate",
+        type=float,
+        default=0.05,
+        help="packet loss probability (long-run rate for both models)",
+    )
+    simulate.add_argument(
+        "--error-model",
+        default="bernoulli",
+        choices=("bernoulli", "gilbert"),
+        help="i.i.d. loss or Gilbert-Elliott bursty loss",
+    )
+    simulate.add_argument(
+        "--policy",
+        default="retry-next-segment",
+        choices=(
+            "retry-next-segment",
+            "retry-next-cycle",
+            "upper-bound-fallback",
+        ),
+        help="client recovery policy for lost index packets",
+    )
+    simulate.add_argument(
+        "--index",
+        default="all",
+        help="one registered index kind, or 'all' (default)",
+    )
+    simulate.add_argument(
+        "--regions",
+        type=int,
+        default=60,
+        help="service-area regions in the simulated dataset",
+    )
+    simulate.add_argument(
+        "--capacity", type=int, default=256, help="packet capacity, bytes"
+    )
+    simulate.add_argument(
+        "--cache",
+        type=int,
+        default=0,
+        help="client LRU packet-cache capacity (0 = no cache)",
+    )
+    simulate.add_argument(
+        "--burst",
+        type=float,
+        default=4.0,
+        help="mean burst length for the gilbert model, packets",
+    )
+    simulate.set_defaults(func=_cmd_simulate)
+
+    broadcast = sub.add_parser(
+        "broadcast",
+        parents=[common],
+        help="evaluate a K-channel broadcast plan vs the (1, m) baseline",
+    )
+    broadcast.add_argument(
+        "--channels",
+        "-K",
+        type=int,
+        default=4,
+        help="number of parallel broadcast channels",
+    )
+    broadcast.add_argument(
+        "--allocation",
+        default="round-robin",
+        help="registered data-sharding strategy "
+        "(see --list-allocations)",
+    )
+    broadcast.add_argument(
+        "--index-placement",
+        default="replicated",
+        choices=("replicated", "distributed"),
+        help="full index copy per channel, or a contiguous chunk each",
+    )
+    broadcast.add_argument(
+        "--hop-cost",
+        type=float,
+        default=1.0,
+        help="packet slots a client spends retuning per channel switch",
+    )
+    broadcast.add_argument(
+        "--list-allocations",
+        action="store_true",
+        help="list registered allocation strategies and exit",
+    )
+    broadcast.add_argument("--queries", type=int, default=None)
+    broadcast.add_argument("--seed", type=int, default=7)
+    broadcast.add_argument(
+        "--index",
+        default="all",
+        help="one registered index kind, or 'all' (default)",
+    )
+    broadcast.add_argument(
+        "--regions",
+        type=int,
+        default=60,
+        help="service-area regions in the evaluated dataset",
+    )
+    broadcast.add_argument(
+        "--capacity", type=int, default=256, help="packet capacity, bytes"
+    )
+    broadcast.set_defaults(func=_cmd_broadcast)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    args = _build_parser().parse_args(_translate_legacy(argv))
+
+    if args.profile:
+        from repro.obs import collecting, write_profile
+
+        with collecting() as col:
+            status = args.func(args)
+        path = write_profile(col, args.profile)
+        print(f"[profile written to {path} and {path.with_suffix('.csv')}]")
+        return status
+    return args.func(args)
 
 
 if __name__ == "__main__":

@@ -36,8 +36,10 @@ from repro.broadcast.metrics import (
     indexing_efficiency,
     no_index_latency,
 )
+from repro.broadcast.channels import ChannelHoppingClient
 from repro.broadcast.packets import PagedIndex
 from repro.broadcast.params import SystemParameters
+from repro.broadcast.plan import BroadcastPlan
 from repro.broadcast.schedule import BroadcastSchedule
 from repro.geometry.point import Point
 from repro.engine.trace import batched_trace
@@ -150,9 +152,22 @@ class BatchResult:
 
 class QueryEngine:
     """Batched evaluation of query workloads over one paged index +
-    broadcast schedule."""
+    broadcast timeline (a schedule or a multi-channel
+    :class:`~repro.broadcast.plan.BroadcastPlan`).
+
+    A K=1 plan is unwrapped to its single channel's schedule, so it runs
+    the vectorized single-channel path bit for bit; a K>1 plan is
+    evaluated query by query through the
+    :class:`~repro.broadcast.channels.ChannelHoppingClient`.
+    """
 
     def __init__(self, paged_index: PagedIndex, schedule) -> None:
+        self._hopping = None
+        if isinstance(schedule, BroadcastPlan):
+            if schedule.is_single_channel:
+                schedule = schedule.primary_schedule
+            else:
+                self._hopping = ChannelHoppingClient(paged_index, schedule)
         if len(paged_index.packets) != schedule.index_packet_count:
             raise BroadcastError(
                 f"schedule built for {schedule.index_packet_count} index "
@@ -245,6 +260,12 @@ class QueryEngine:
             col.count("engine.queries", n)
             col.observe("engine.batch_size", n)
 
+        if self._hopping is not None:
+            with span("engine.run"):
+                if col is not None:
+                    col.count("engine.timeline.multichannel")
+                return self._run_plan(points, times)
+
         with span("engine.run"):
             with span("engine.trace"):
                 traces = batched_trace(self.paged_index, points)
@@ -303,6 +324,33 @@ class QueryEngine:
                 schedule=self.schedule,
             )
 
+    def _run_plan(self, points: Sequence[Point], times: np.ndarray) -> BatchResult:
+        """Multi-channel (K>1) evaluation: one channel-hopping client
+        query per point.  The schedule attribute is the plan itself, so
+        :meth:`BatchResult.summary` reports the plan's headline m and
+        cycle length."""
+        n = len(points)
+        results = [
+            self._hopping.query(p, t) for p, t in zip(points, times.tolist())
+        ]
+        return BatchResult(
+            issue_times=times,
+            region_ids=np.fromiter(
+                (r.region_id for r in results), np.int64, count=n
+            ),
+            access_latency=np.fromiter(
+                (r.access_latency for r in results), np.float64, count=n
+            ),
+            index_tuning_time=np.fromiter(
+                (r.index_tuning_time for r in results), np.int64, count=n
+            ),
+            total_tuning_time=np.fromiter(
+                (r.total_tuning_time for r in results), np.int64, count=n
+            ),
+            index_packet_count=len(self.paged_index.packets),
+            schedule=self.schedule,
+        )
+
 
 def evaluate_workload(
     paged_index: PagedIndex,
@@ -312,17 +360,25 @@ def evaluate_workload(
     seed: int = 0,
     m: Optional[int] = None,
     schedule=None,
+    plan: Optional[BroadcastPlan] = None,
 ) -> BatchResult:
     """Batched counterpart of :func:`repro.broadcast.metrics.evaluate_index`.
 
     Same contract — build a flat (1, m) schedule unless one is provided,
     issue every query at a uniform-random instant — but returns the full
     :class:`BatchResult`; call :meth:`BatchResult.summary` for the
-    aggregated :class:`MetricsSummary`.
+    aggregated :class:`MetricsSummary`.  Pass *plan* to evaluate the
+    workload over a multi-channel
+    :class:`~repro.broadcast.plan.BroadcastPlan` instead (a K=1 plan is
+    bit-for-bit the single-channel path).
     """
     points = _workload_points(workload)
     if not points:
         raise BroadcastError("need at least one query point")
+    if plan is not None:
+        if schedule is not None:
+            raise BroadcastError("pass either schedule= or plan=, not both")
+        schedule = plan
     if schedule is None:
         schedule = BroadcastSchedule(
             index_packet_count=len(paged_index.packets),

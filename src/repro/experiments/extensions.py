@@ -9,6 +9,9 @@
   index-search tuning time over a query session.
 * **E9 — faulty channel**: recovery policies under packet loss — tail
   latency/tuning percentiles per policy and error rate.
+* **E10 — multi-channel broadcast**: K parallel channels vs the (1, m)
+  baseline — access latency vs channel count per allocation strategy and
+  index placement, at identical tuning time.
 """
 
 from __future__ import annotations
@@ -223,4 +226,57 @@ def extension_faulty_channel(
                 policy=policy,
             )
             out[policy][rate] = report.summary()
+    return out
+
+
+def extension_multichannel(
+    dataset: Optional[Dataset] = None,
+    packet_capacity: int = 256,
+    index_kind: str = "dtree",
+    channel_counts: Sequence[int] = (1, 2, 4),
+    queries: int = 400,
+    hop_cost: float = 1.0,
+    seed: int = 7,
+) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """E10: K-channel broadcast plans vs the (1, m) baseline.
+
+    Sweeps every registered allocation strategy and both index
+    placements over *channel_counts* on one index family, reporting each
+    cell's mean/p50 access latency, mean tuning time and mean hop count.
+    Tuning time is invariant in K (hops cost latency, not tuning), so
+    the latency column is the whole story.
+    """
+    import numpy as np
+
+    from repro.broadcast.plan import INDEX_PLACEMENTS, available_allocations
+    from repro.experiments.runner import run_multichannel_cell
+
+    dataset = dataset or uniform_dataset(n=200, seed=42)
+    out: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for allocation in available_allocations():
+        for placement in INDEX_PLACEMENTS:
+            label = f"{allocation}/{placement}"
+            out[label] = {}
+            for channels in channel_counts:
+                plan, result = run_multichannel_cell(
+                    dataset,
+                    index_kind,
+                    packet_capacity,
+                    queries=queries,
+                    seed=seed,
+                    channels=channels,
+                    allocation=allocation,
+                    index_placement=placement,
+                    hop_cost=hop_cost,
+                )
+                latency = np.asarray(result.access_latency, float)
+                out[label][channels] = {
+                    "latency_mean": float(latency.mean()),
+                    "latency_p50": float(np.percentile(latency, 50)),
+                    "tuning_mean": float(
+                        np.asarray(result.total_tuning_time, float).mean()
+                    ),
+                    "cycle_length": float(plan.cycle_length),
+                    "m": float(plan.m),
+                }
     return out

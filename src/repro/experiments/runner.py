@@ -160,6 +160,62 @@ def run_faulty_cell(
     )
 
 
+def run_multichannel_cell(
+    dataset: Dataset,
+    index_kind: str,
+    packet_capacity: int,
+    queries: int,
+    seed: int,
+    *,
+    channels: int = 1,
+    allocation: str = "round-robin",
+    index_placement: str = "replicated",
+    hop_cost: float = 1.0,
+    m=None,
+    logical_index=None,
+):
+    """Multi-channel counterpart of :func:`run_cell`.
+
+    Builds the cell's paged index, assembles a
+    :class:`~repro.broadcast.plan.BroadcastPlan` (feeding region
+    centroids to location-aware allocation strategies) and evaluates the
+    workload through the batched engine.  Returns ``(plan, BatchResult)``;
+    with ``channels=1`` the result is bit-for-bit the single-channel
+    :func:`run_cell` workload.
+    """
+    from repro.broadcast.plan import BroadcastPlan
+    from repro.engine import evaluate_workload
+
+    subdivision = dataset.subdivision
+    family = index_family(index_kind)
+    params = family.parameters(packet_capacity)
+    if logical_index is None:
+        logical_index = family.build(subdivision, seed=seed)
+    paged = logical_index.page(params)
+
+    centroids = {}
+    for region in subdivision.regions:
+        c = region.polygon.centroid
+        centroids[region.region_id] = (c.x, c.y)
+    plan = BroadcastPlan(
+        index_packet_count=len(paged.packets),
+        region_ids=subdivision.region_ids,
+        params=params,
+        channels=channels,
+        allocation=allocation,
+        index_placement=index_placement,
+        m=m,
+        hop_cost=hop_cost,
+        centroids=centroids,
+    )
+    rng = random.Random(seed)
+    points = [subdivision.random_point(rng) for _ in range(queries)]
+    result = evaluate_workload(
+        paged, subdivision.region_ids, params, points, seed=seed, plan=plan
+    )
+    return plan, result
+
+
 class ExperimentMatrix:
     """All cells of one campaign, with logical indexes built once per
     (dataset, kind) and reused across the capacity sweep."""

@@ -52,7 +52,7 @@ from repro.simulation.policies import (
 class SimAccessResult(AccessResult):
     """One simulated query's outcome, with fault and energy accounting."""
 
-    __slots__ = ("read_attempts", "packet_losses", "energy_joules")
+    __slots__ = ("read_attempts", "packet_losses", "energy_joules", "hops", "hop_slots")
 
     def __init__(
         self,
@@ -64,6 +64,8 @@ class SimAccessResult(AccessResult):
         read_attempts: int,
         packet_losses: int,
         energy_joules: float,
+        hops: int = 0,
+        hop_slots: float = 0.0,
     ) -> None:
         super().__init__(
             region_id, access_latency, index_tuning_time, total_tuning_time, trace
@@ -74,6 +76,10 @@ class SimAccessResult(AccessResult):
         self.packet_losses = packet_losses
         #: Energy spent on this query (receive + doze), in joules.
         self.energy_joules = energy_joules
+        #: Channel switches (multi-channel plans only; 0 on one channel).
+        self.hops = hops
+        #: Packet slots spent retuning (doze-priced; part of latency).
+        self.hop_slots = hop_slots
 
     def __repr__(self) -> str:
         return (
@@ -94,7 +100,19 @@ def _segment_for_offset(schedule, offset: int, time: float) -> int:
 
 
 class UnreliableBroadcastClient:
-    """A mobile client on a lossy broadcast channel."""
+    """A mobile client on a lossy broadcast timeline.
+
+    The timeline is a schedule or a
+    :class:`~repro.broadcast.plan.BroadcastPlan`.  A K=1 plan is
+    unwrapped to its single channel's schedule (bit-for-bit the
+    single-channel client); a K>1 plan runs the channel-hopping walk of
+    :class:`~repro.broadcast.channels.ChannelHoppingClient` with every
+    read subject to the error model.  Loss is decided at the *receiver*
+    (one error model regardless of channel — interference hits the
+    client's radio, not one carrier), and each lost index packet invokes
+    the recovery policy against the schedule of the channel being read,
+    so policies work per-channel unchanged.
+    """
 
     def __init__(
         self,
@@ -106,6 +124,14 @@ class UnreliableBroadcastClient:
         energy_model: Optional[EnergyModel] = None,
         cache_packets: int = 0,
     ) -> None:
+        from repro.broadcast.plan import BroadcastPlan
+
+        self.plan = None
+        if isinstance(schedule, BroadcastPlan):
+            if schedule.is_single_channel:
+                schedule = schedule.primary_schedule
+            else:
+                self.plan = schedule
         if len(paged_index.packets) != schedule.index_packet_count:
             raise BroadcastError(
                 f"schedule built for {schedule.index_packet_count} index "
@@ -134,6 +160,7 @@ class UnreliableBroadcastClient:
         self._retries = 0
         self._fell_back = False
         self._losses = 0
+        self._hops = 0
         self._index_read_ok: List[int] = []
 
         trace = self.paged_index.trace(point)
@@ -143,13 +170,21 @@ class UnreliableBroadcastClient:
                 "index traversal moved backwards on the broadcast channel: "
                 f"{accessed} — the index broadcast order is invalid"
             )
-        if self.cache is not None:
+        if self.plan is not None:
+            unique = list(dict.fromkeys(accessed))
+            if self.cache is not None:
+                needed = [pid for pid in unique if pid not in self.cache]
+            else:
+                needed = unique
+        elif self.cache is not None:
             needed = [pid for pid in accessed if pid not in self.cache]
         else:
             needed = list(accessed)
 
         finish: float
-        if self.cache is not None and not needed:
+        if self.plan is not None:
+            finish = self._query_plan(trace.region_id, needed, issue_time)
+        elif self.cache is not None and not needed:
             # Fully cached search: sleep straight until the data bucket.
             finish = self._retrieve_data(trace.region_id, issue_time)
         else:
@@ -171,6 +206,7 @@ class UnreliableBroadcastClient:
         col = active_collector()
         if col is not None:
             self._record_query(col, accessed, needed, access_latency)
+        hop_cost = self.plan.hop_cost if self.plan is not None else 0.0
         return SimAccessResult(
             region_id=trace.region_id,
             access_latency=access_latency,
@@ -180,6 +216,8 @@ class UnreliableBroadcastClient:
             read_attempts=self._attempts,
             packet_losses=self._losses,
             energy_joules=energy,
+            hops=self._hops,
+            hop_slots=self._hops * hop_cost,
         )
 
     def _record_query(
@@ -202,8 +240,14 @@ class UnreliableBroadcastClient:
         col.count("sim.retries", self._retries)
         if self._fell_back:
             col.count("sim.fallbacks")
+        hop_slots = 0.0
+        if self.plan is not None:
+            hop_slots = self._hops * self.plan.hop_cost
+            col.count("sim.hops", self._hops)
+            col.count("sim.hop_slots", hop_slots)
         col.count(
-            "sim.doze_slots", max(access_latency - self._attempts, 0.0)
+            "sim.doze_slots",
+            max(access_latency - self._attempts - hop_slots, 0.0),
         )
         if self.cache is not None:
             col.count("sim.cache.hits", len(accessed) - len(needed))
@@ -280,12 +324,19 @@ class UnreliableBroadcastClient:
         start = self.schedule.next_bucket_arrival(region_id, float(ready_time))
         return self._download_bucket(start, first_done=False)
 
-    def _download_bucket(self, start: int, first_done: bool) -> float:
+    def _download_bucket(
+        self, start: int, first_done: bool, schedule=None
+    ) -> float:
         """Read a bucket's packets from its airing at *start*; packets
         lost in one airing are re-read one cycle later, until all are in.
-        ``first_done`` marks the first packet as already received."""
-        cycle = self.schedule.cycle_length
-        pending = list(range(1 if first_done else 0, self.schedule.bucket_packets))
+        ``first_done`` marks the first packet as already received.
+        *schedule* selects the timeline the bucket airs on (a channel's
+        schedule under a multi-channel plan; the client's own otherwise).
+        """
+        if schedule is None:
+            schedule = self.schedule
+        cycle = schedule.cycle_length
+        pending = list(range(1 if first_done else 0, schedule.bucket_packets))
         finish = float(start + 1) if first_done else float(start)
         base = start
         while pending:
@@ -337,6 +388,169 @@ class UnreliableBroadcastClient:
                 return self._download_bucket(arrival, first_done=True)
             unresolved.discard(region)
             t = float(arrival + 1)
+
+    # -- multi-channel protocol (BroadcastPlan with K > 1) ------------------
+
+    def _query_plan(
+        self, region_id: int, needed: List[int], issue_time: float
+    ) -> float:
+        """The three-step protocol across the channels of ``self.plan``.
+
+        Mirrors :meth:`ChannelHoppingClient.query
+        <repro.broadcast.channels.ChannelHoppingClient.query>` with every
+        read subject to the error model; at error rate zero the two are
+        bit-for-bit identical.  Hops cost latency (``hop_cost`` slots
+        each) but no tuning — the radio retunes at doze-level draw.
+        """
+        current = 0
+        if self.cache is not None and not needed:
+            return self._retrieve_data_plan(region_id, issue_time, current)
+        sync_time = self._probe(issue_time)
+        outcome = self._index_search_plan(needed, sync_time, current)
+        if outcome[0] == "done":
+            _, ready_time, current = outcome
+            return self._retrieve_data_plan(region_id, ready_time, current)
+        _, fail_time, last_good, current = outcome
+        return self._fallback_download_plan(
+            region_id, last_good, fail_time, current
+        )
+
+    def _index_search_plan(
+        self, needed: List[int], sync_time: float, current: int
+    ) -> Tuple:
+        """Step 2 across channels: each packet is read on its home
+        channel (hopping as needed); a loss invokes the recovery policy
+        against *that channel's* schedule, so policies work per-channel
+        unchanged.
+
+        Returns ``("done", index_done, channel)`` or
+        ``("fallback", fail_time, last_good, channel)``.
+        """
+        plan = self.plan
+        t = sync_time
+        if not needed:
+            schedule = plan.channels[current].schedule
+            return ("done", schedule.next_index_start(t) + 1, current)
+        anchored = self.cache is not None
+        for i, pid in enumerate(needed):
+            chan, offset = plan.index_home(pid, current)
+            if chan != current:
+                t += plan.hop_cost
+                self._hops += 1
+                current = chan
+            schedule = plan.channels[chan].schedule
+            if anchored:
+                base = schedule.segment_for_offset(offset, t)
+            else:
+                base = schedule.next_index_start(t)
+                anchored = True
+            while True:
+                position = base + offset
+                self._attempts += 1
+                self._index_attempts += 1
+                if self.error_model.packet_lost(position):
+                    self._losses += 1
+                    if self.policy.falls_back:
+                        record_recovery(self.policy)
+                        self._fell_back = True
+                        last_good = needed[i - 1] if i > 0 else None
+                        return ("fallback", float(position + 1), last_good, current)
+                    self._retries += 1
+                    base = self.policy.resume_segment_base(
+                        schedule, base, position
+                    )
+                else:
+                    self._index_read_ok.append(pid)
+                    t = float(base + offset + 1)
+                    break
+        return ("done", t, current)
+
+    def _retrieve_data_plan(
+        self, region_id: int, ready_time: float, current: int
+    ) -> float:
+        """Step 3: hop to the bucket's home channel and download it."""
+        plan = self.plan
+        target = plan.channel_of_region(region_id)
+        t = float(ready_time)
+        if target != current:
+            t += plan.hop_cost
+            self._hops += 1
+        schedule = plan.channels[target].schedule
+        start = schedule.next_bucket_arrival(region_id, t)
+        return self._download_bucket(start, first_done=False, schedule=schedule)
+
+    def _fallback_download_plan(
+        self,
+        true_region: int,
+        last_good: Optional[int],
+        fail_time: float,
+        current: int,
+    ) -> float:
+        """Upper-bound fallback across channels: at each step inspect the
+        earliest-arriving candidate bucket plan-wide (charging a hop if
+        it airs on another channel) until the query's own region arrives,
+        then download it fully on its home channel."""
+        plan = self.plan
+        if self._candidates is None:
+            self._candidates = candidate_provider(
+                self.paged_index, plan.region_ids
+            )
+        unresolved = set(self._candidates(last_good))
+        if true_region not in unresolved:
+            raise BroadcastError(
+                f"candidate bound for packet {last_good} omits the true "
+                f"region {true_region} — the provider is unsound"
+            )
+        t = fail_time
+        while True:
+            best = None
+            for r in sorted(unresolved):
+                chan = plan.channel_of_region(r)
+                t_r = t + plan.hop_cost if chan != current else t
+                arrival = plan.channels[chan].schedule.next_bucket_arrival(
+                    r, float(t_r)
+                )
+                if best is None or arrival < best[1]:
+                    best = (r, arrival, chan)
+            region, arrival, chan = best
+            if chan != current:
+                self._hops += 1
+                current = chan
+            self._attempts += 1
+            if self.error_model.packet_lost(arrival):
+                self._losses += 1
+                t = float(arrival + 1)
+                continue
+            if region == true_region:
+                return self._download_bucket(
+                    arrival,
+                    first_done=True,
+                    schedule=plan.channels[chan].schedule,
+                )
+            unresolved.discard(region)
+            t = float(arrival + 1)
+
+    # -- workloads ----------------------------------------------------------
+
+    def run_workload(
+        self,
+        points,
+        *,
+        issue_times=None,
+        seed: int = 0,
+        rng=None,
+    ) -> List[SimAccessResult]:
+        """Query each point at a uniform-random instant (shared
+        keyword-only workload signature; see
+        :func:`repro.broadcast.client.run_workload`).  The error model's
+        state is whatever it currently is — reseed via
+        :class:`~repro.simulation.simulator.ChannelSimulator` for the
+        deterministic fault-schedule contract."""
+        from repro.broadcast.client import run_workload
+
+        return run_workload(
+            self, points, issue_times=issue_times, seed=seed, rng=rng
+        )
 
     def _update_cache(self, accessed: List[int], needed: List[int]) -> None:
         """Refresh cache entries for hits and successfully read packets.

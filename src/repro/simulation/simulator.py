@@ -69,14 +69,33 @@ class ChannelSimulator:
             energy_model=energy_model,
             cache_packets=cache_packets,
         )
-        self.schedule = schedule
+        # A K=1 plan is unwrapped by the client; mirror its view so the
+        # issue-time horizon (cycle_length) matches bit for bit.
+        self.schedule = self.client.plan if self.client.plan is not None else self.client.schedule
         self.index_kind = index_kind
+
+    def run_workload(
+        self,
+        workload,
+        *,
+        issue_times: Optional[Sequence[float]] = None,
+        seed: int = 0,
+        rng=None,
+    ) -> SimulationReport:
+        """Simulate *workload* under the shared keyword-only workload
+        signature (see :func:`repro.broadcast.client.run_workload`).
+
+        ``rng`` injects the issue-time stream; without it the stream is
+        ``random.Random(seed)``, the exact stream of the batched engine.
+        """
+        return self.run(workload, issue_times=issue_times, seed=seed, rng=rng)
 
     def run(
         self,
         workload,
         issue_times: Optional[Sequence[float]] = None,
         seed: int = 0,
+        rng=None,
     ) -> SimulationReport:
         """Simulate every query of *workload*.
 
@@ -91,7 +110,8 @@ class ChannelSimulator:
         if n == 0:
             raise BroadcastError("need at least one query point")
         if issue_times is None:
-            rng = random.Random(seed)
+            if rng is None:
+                rng = random.Random(seed)
             issue_times = [
                 rng.uniform(0, self.schedule.cycle_length) for _ in range(n)
             ]
@@ -154,17 +174,24 @@ def simulate_workload(
     seed: int = 0,
     m: Optional[int] = None,
     schedule=None,
+    plan=None,
     index_kind: str = "?",
 ) -> SimulationReport:
     """Faulty-channel counterpart of :func:`repro.engine.evaluate_workload`.
 
     Builds the flat (1, m) schedule unless one is provided, instantiates
     the error model by name at *error_rate*, and runs the whole workload
-    through the :class:`ChannelSimulator`.
+    through the :class:`ChannelSimulator`.  Pass ``plan=`` (a
+    :class:`~repro.broadcast.plan.BroadcastPlan`) to simulate a
+    multi-channel broadcast instead of a single timeline.
     """
     points = _workload_points(workload)
     if not points:
         raise BroadcastError("need at least one query point")
+    if plan is not None:
+        if schedule is not None:
+            raise BroadcastError("pass either schedule= or plan=, not both")
+        schedule = plan
     if schedule is None:
         schedule = BroadcastSchedule(
             index_packet_count=len(paged_index.packets),

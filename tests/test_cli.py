@@ -18,7 +18,22 @@ class TestCli:
 
     def test_unknown_scale(self):
         with pytest.raises(SystemExit):
-            main(["figure10", "--scale", "huge"])
+            main(["run", "figure10", "--scale", "huge"])
+
+    def test_legacy_spelling_warns_and_forwards(self, monkeypatch):
+        # `repro figure10` still works but deprecates to `repro run ...`.
+        import repro.cli as cli_mod
+
+        seen = {}
+
+        def fake_run(args):
+            seen["target"] = args.target
+            return 0
+
+        monkeypatch.setattr(cli_mod, "_cmd_run", fake_run)
+        with pytest.warns(DeprecationWarning, match="repro run figure10"):
+            assert main(["figure10", "--scale", "quick"]) == 0
+        assert seen["target"] == "figure10"
 
     def test_figure11_quick_runs(self, capsys, monkeypatch):
         # Shrink the quick config further so the CLI test stays fast.
@@ -44,10 +59,39 @@ class TestCli:
         monkeypatch.setattr(
             cli_mod.ExperimentConfig, "quick", config_mod.ExperimentConfig.quick
         )
-        assert main(["figure11", "--scale", "quick"]) == 0
+        assert main(["run", "figure11", "--scale", "quick"]) == 0
         out = capsys.readouterr().out
         assert "Figure 11" in out
         assert "dtree" in out
+
+    def test_broadcast_list_allocations(self, capsys):
+        assert main(["broadcast", "--list-allocations"]) == 0
+        out = capsys.readouterr().out
+        assert "round-robin" in out
+        assert "region-locality" in out
+
+    def test_broadcast_multichannel_table(self, capsys):
+        status = main(
+            [
+                "broadcast",
+                "--channels",
+                "3",
+                "--index",
+                "dtree",
+                "--regions",
+                "20",
+                "--queries",
+                "40",
+                "--index-placement",
+                "distributed",
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        # One baseline row (K=1) and one plan row (K=3) for the family.
+        assert "K=3" in out
+        lines = [l for l in out.splitlines() if l.startswith("dtree")]
+        assert len(lines) == 2
 
     def test_simulate_with_profile(self, capsys, tmp_path):
         from repro.obs import active_collector, validate_profile

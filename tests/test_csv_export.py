@@ -49,7 +49,7 @@ class TestToCsv:
             config_mod.ExperimentConfig, "quick", classmethod(tiny_quick)
         )
         out_dir = tmp_path / "csv"
-        assert main(["figure11", "--scale", "quick", "--csv-dir", str(out_dir)]) == 0
+        assert main(["run", "figure11", "--scale", "quick", "--csv-dir", str(out_dir)]) == 0
         written = (out_dir / "figure11.csv").read_text()
         assert written.startswith("figure,metric,dataset,index")
         assert "dtree" in written
