@@ -1,0 +1,122 @@
+"""Fleet fan-out: 1M point queries through the batched D-tree engine.
+
+The headline acceptance number: the multi-process fleet runner on the
+compiled shared-memory D-tree beats the single-worker runner by > 2x
+wall-clock at 1M queries — asserted when the machine actually has the
+cores (the speedup gate is skipped on single-core runners, the parity
+assert never is).  Worker-count invariance of the merged answers and of
+every summary float is asserted on every run, full or smoke.
+
+CI smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the fleet to 20k
+queries with 2 workers so the parity contract is exercised on every
+push without minutes of wall-clock.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fleet.py --benchmark-only
+"""
+
+import math
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.broadcast.schedule import BroadcastSchedule
+from repro.datasets.catalog import SERVICE_AREA, uniform_dataset
+from repro.engine import index_family
+from repro.fleet import FleetRunner, FleetSpec, UniformFleetWorkload
+
+from _recorder import record_case, run_recorded
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+#: Total fleet queries (the tentpole scale) and per-chunk size.
+TOTAL_QUERIES = 20_000 if SMOKE else 1_000_000
+CHUNK_SIZE = 5_000 if SMOKE else 50_000
+
+#: Worker count for the fan-out cell; capped by the actual cores.
+CORES = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else (
+    os.cpu_count() or 1
+)
+FAN_WORKERS = 2 if SMOKE else min(8, max(2, CORES))
+
+
+@pytest.fixture(scope="module")
+def fleet_spec():
+    dataset = uniform_dataset(n=200, seed=7)
+    family = index_family("dtree")
+    params = family.parameters(packet_capacity=256)
+    paged = family.build(dataset.subdivision, seed=7).page(params)
+    schedule = BroadcastSchedule(
+        index_packet_count=len(paged.packets),
+        region_ids=list(dataset.subdivision.region_ids),
+        params=params,
+    )
+    workload = UniformFleetWorkload(SERVICE_AREA, schedule.cycle_length, seed=7)
+    return FleetSpec(
+        paged_index=paged,
+        schedule=schedule,
+        params=params,
+        workload=workload,
+        mode="engine",
+        index_kind="dtree",
+    )
+
+
+def bench_fleet_fanout(benchmark, fleet_spec):
+    """Time 1M queries at workers=1 and workers=N, assert parity (always)
+    and speedup (when the cores exist)."""
+    solo_runner = FleetRunner(fleet_spec, chunk_size=CHUNK_SIZE, workers=1)
+
+    start = time.perf_counter()
+    solo = solo_runner.run(TOTAL_QUERIES)
+    solo_seconds = time.perf_counter() - start
+    record_case("fleet", f"dtree-{TOTAL_QUERIES}-workers-1", solo_seconds * 1000.0)
+
+    fan_runner = FleetRunner(
+        fleet_spec, chunk_size=CHUNK_SIZE, workers=FAN_WORKERS
+    )
+    fanned = run_recorded(
+        benchmark,
+        lambda: fan_runner.run(TOTAL_QUERIES),
+        "fleet",
+        f"dtree-{TOTAL_QUERIES}-workers-{FAN_WORKERS}",
+    )
+
+    # Parity is the contract, not a statistic: merged answers are
+    # array-exact and every summary float identical across worker counts.
+    np.testing.assert_array_equal(
+        solo.merged_answers(), fanned.merged_answers()
+    )
+    s1, sN = solo.summary(), fanned.summary()
+    assert set(s1) == set(sN)
+    for key in s1:
+        assert s1[key] == sN[key] or (
+            math.isnan(s1[key]) and math.isnan(sN[key])
+        ), key
+
+    speedup = solo_seconds / fanned.elapsed_seconds
+    record_case("fleet", "fanout-speedup-x1000", speedup * 1000.0)
+    print(
+        f"\nfleet {TOTAL_QUERIES} queries: workers=1 {solo_seconds:.2f}s, "
+        f"workers={FAN_WORKERS} {fanned.elapsed_seconds:.2f}s "
+        f"(speedup {speedup:.2f}x on {CORES} cores)"
+    )
+    if not SMOKE and CORES >= 4:
+        assert speedup > 2.0, (
+            f"fleet fan-out speedup {speedup:.2f}x <= 2x with "
+            f"{FAN_WORKERS} workers on {CORES} cores"
+        )
+
+
+def bench_fleet_throughput_solo(benchmark, fleet_spec):
+    """Single-worker streaming throughput — the memory-bounded baseline."""
+    n = TOTAL_QUERIES // 10
+    runner = FleetRunner(fleet_spec, chunk_size=CHUNK_SIZE, workers=1)
+    report = run_recorded(
+        benchmark, lambda: runner.run(n), "fleet", f"dtree-{n}-solo-stream"
+    )
+    assert report.queries == n
+    assert report.metrics["access_latency"].count == n

@@ -11,6 +11,8 @@ Subcommands::
     python -m repro simulate --profile trace.json
     python -m repro broadcast --channels 4 --index-placement distributed
     python -m repro broadcast --list-allocations
+    python -m repro fleet --queries 1000000 --workers 8
+    python -m repro fleet --mode simulate --error-rate 0.05 --workers 4
 
 The pre-1.5 single-positional form (``python -m repro figure10``) still
 works but emits a :class:`DeprecationWarning` and forwards to ``run``.
@@ -169,6 +171,34 @@ def _cmd_broadcast(args) -> int:
                 f"{latency.mean():>12.1f} {np.percentile(latency, 50):>8.1f}  "
                 f"{tuning.mean():>7.2f}"
             )
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    """Run a (potentially huge) fleet of point queries through the
+    batched engine or the lossy simulator, chunked and optionally
+    fanned out over worker processes (DESIGN.md §12)."""
+    from repro.fleet import run_fleet
+    from repro.fleet.report import render_fleet_report
+
+    report = run_fleet(
+        args.queries,
+        index_kind=args.index,
+        regions=args.regions,
+        packet_capacity=args.capacity,
+        mode=args.mode,
+        error_rate=args.error_rate,
+        error_model=args.error_model,
+        mean_burst=args.burst,
+        policy=args.policy,
+        cache_packets=args.cache,
+        seed=args.seed,
+        chunk_size=args.chunk_size,
+        workers=args.workers,
+        start_method=args.start_method,
+        keep_answers=not args.drop_answers,
+    )
+    print(render_fleet_report(report))
     return 0
 
 
@@ -338,6 +368,91 @@ def _build_parser() -> argparse.ArgumentParser:
         help="mean burst length for the gilbert model, packets",
     )
     simulate.set_defaults(func=_cmd_simulate)
+
+    fleet = sub.add_parser(
+        "fleet",
+        parents=[common],
+        help="run a chunked, multi-process fleet of point queries",
+    )
+    fleet.add_argument(
+        "--queries",
+        type=int,
+        default=1_000_000,
+        help="total fleet queries to evaluate (streamed, never "
+        "materialized whole)",
+    )
+    fleet.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; results are identical for every count",
+    )
+    fleet.add_argument(
+        "--chunk-size",
+        type=int,
+        default=50_000,
+        help="queries per chunk (memory bound per worker)",
+    )
+    fleet.add_argument(
+        "--start-method",
+        default=None,
+        choices=("fork", "spawn", "forkserver"),
+        help="multiprocessing start method (default: platform default)",
+    )
+    fleet.add_argument(
+        "--mode",
+        default="engine",
+        choices=("engine", "simulate"),
+        help="error-free batched engine, or the lossy channel simulator",
+    )
+    fleet.add_argument(
+        "--index",
+        default="dtree",
+        help="one registered index kind (default dtree)",
+    )
+    fleet.add_argument("--regions", type=int, default=200)
+    fleet.add_argument(
+        "--capacity", type=int, default=256, help="packet capacity, bytes"
+    )
+    fleet.add_argument("--seed", type=int, default=7)
+    fleet.add_argument(
+        "--error-rate",
+        type=float,
+        default=0.0,
+        help="packet loss probability (simulate mode)",
+    )
+    fleet.add_argument(
+        "--error-model",
+        default="bernoulli",
+        choices=("bernoulli", "gilbert"),
+    )
+    fleet.add_argument(
+        "--policy",
+        default="retry-next-segment",
+        choices=(
+            "retry-next-segment",
+            "retry-next-cycle",
+            "upper-bound-fallback",
+        ),
+    )
+    fleet.add_argument(
+        "--cache",
+        type=int,
+        default=0,
+        help="client LRU packet-cache capacity (simulate mode)",
+    )
+    fleet.add_argument(
+        "--burst",
+        type=float,
+        default=4.0,
+        help="mean burst length for the gilbert model, packets",
+    )
+    fleet.add_argument(
+        "--drop-answers",
+        action="store_true",
+        help="do not retain per-query answer arrays (lowest memory)",
+    )
+    fleet.set_defaults(func=_cmd_fleet)
 
     broadcast = sub.add_parser(
         "broadcast",

@@ -57,6 +57,15 @@ class PagedDTree:
             self._merge_leaf_packets()
         self.packets = self._store.packets
 
+    def __getstate__(self) -> dict:
+        """Drop the compiled-tracer cache from pickles: it is derived
+        state (large numpy arrays), rebuilt on demand in the unpickling
+        process or reattached zero-copy from shared memory by the fleet
+        layer."""
+        state = dict(self.__dict__)
+        state.pop("_compiled_dtree", None)
+        return state
+
     # -- size model ----------------------------------------------------------
 
     def node_size(self, node: DTreeNode) -> int:

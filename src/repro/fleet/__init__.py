@@ -1,0 +1,48 @@
+"""repro.fleet — million-client fleet simulation over the batched engine.
+
+Public surface:
+
+* :class:`FleetRunner` / :class:`FleetSpec` / :func:`run_fleet` —
+  chunked, optionally multi-process evaluation of huge query streams
+  with bounded memory and worker-count-invariant results;
+* :class:`FleetReport` / :class:`MetricAggregate` — streaming mergeable
+  aggregation (compensated sums, exact counters, quantile sketches);
+* :class:`QuantileSketch` — the mergeable log-linear p50/p95/p99 sketch;
+* :class:`UniformFleetWorkload` / :func:`spawned_seed` — chunk-size
+  invariant workload generation and per-chunk seed derivation;
+* :class:`ShmArena` — zero-copy sharing of compiled index arrays across
+  worker processes.
+
+See DESIGN.md §12 for the architecture.
+"""
+
+from repro.fleet.sketch import QuantileSketch
+from repro.fleet.report import FleetReport, MetricAggregate, render_fleet_report
+from repro.fleet.workload import UniformFleetWorkload, spawned_seed
+from repro.fleet.shm import (
+    ShmArena,
+    attach_compiled_state,
+    export_compiled_state,
+)
+from repro.fleet.runner import (
+    DEFAULT_CHUNK_SIZE,
+    FleetRunner,
+    FleetSpec,
+    run_fleet,
+)
+
+__all__ = [
+    "QuantileSketch",
+    "FleetReport",
+    "MetricAggregate",
+    "render_fleet_report",
+    "UniformFleetWorkload",
+    "spawned_seed",
+    "ShmArena",
+    "attach_compiled_state",
+    "export_compiled_state",
+    "DEFAULT_CHUNK_SIZE",
+    "FleetRunner",
+    "FleetSpec",
+    "run_fleet",
+]

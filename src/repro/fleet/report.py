@@ -1,0 +1,339 @@
+"""Streaming, mergeable fleet reports.
+
+A :class:`~repro.simulation.report.SimulationReport` keeps every
+per-query array — the right call for a 10k-query experiment, fatal for a
+10M-query fleet.  The fleet layer instead folds each chunk into a
+:class:`FleetReport` the moment it is evaluated: per-metric counts,
+compensated sums, exact min/max and a mergeable quantile sketch, plus
+the (small) per-query answer array for parity checking.  A worker ships
+a few kilobytes back to the parent regardless of chunk size.
+
+Merge algebra
+-------------
+
+``FleetReport.merge`` is associative with the empty report as identity,
+and — because chunk results are folded **in chunk order** and sums use
+Neumaier-compensated accumulation — a merged fleet report is exactly
+equal (counters, sums, sketches) to the report a single worker would
+have produced over the same chunking.  Worker count therefore never
+changes a reported number; see DESIGN.md §12.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.fleet.sketch import QuantileSketch
+from repro.simulation.report import PERCENTILES
+
+#: The per-query metrics every fleet report aggregates.
+METRIC_FIELDS = ("access_latency", "tuning_time", "energy_joules")
+
+
+class MetricAggregate:
+    """Count / compensated sum / min / max / sketch of one metric stream.
+
+    Cross-chunk sums use Neumaier's variant of Kahan summation: each
+    chunk contributes one ``np.sum`` (pairwise inside the chunk) and the
+    running total carries a compensation term, so a billion-chunk fleet
+    sum matches ``math.fsum`` of the chunk sums to the last bit in
+    practice and never drifts with the number of chunks or merge order
+    (for a fixed fold order).
+    """
+
+    __slots__ = ("count", "_sum", "_comp", "minimum", "maximum", "sketch")
+
+    def __init__(self, alpha: float = 0.01) -> None:
+        self.count = 0
+        self._sum = 0.0
+        self._comp = 0.0  # Neumaier compensation (sum of lost low bits)
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.sketch = QuantileSketch(alpha=alpha)
+
+    # -- compensated accumulation -------------------------------------------
+
+    def _add(self, value: float) -> None:
+        t = self._sum + value
+        if abs(self._sum) >= abs(value):
+            self._comp += (self._sum - t) + value
+        else:
+            self._comp += (value - t) + self._sum
+        self._sum = t
+
+    def observe_chunk(self, values) -> None:
+        """Fold one chunk's values (array) into the aggregate."""
+        arr = np.asarray(values, np.float64)
+        if arr.size == 0:
+            return
+        self.count += int(arr.size)
+        self.minimum = min(self.minimum, float(arr.min()))
+        self.maximum = max(self.maximum, float(arr.max()))
+        self._add(float(np.sum(arr)))
+        self.sketch.observe_batch(arr)
+
+    def merge(self, other: "MetricAggregate") -> "MetricAggregate":
+        """Fold *other* into this aggregate (in place)."""
+        self.count += other.count
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        # Fold the other side's compensated pair through the same
+        # Neumaier update: for chunk-ordered folds this reproduces the
+        # sequential accumulation exactly.
+        self._add(other._sum)
+        self._add(other._comp)
+        self.sketch.merge(other.sketch)
+        return self
+
+    # -- reductions ----------------------------------------------------------
+
+    @property
+    def total(self) -> float:
+        """The compensated sum."""
+        return self._sum + self._comp
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def percentile(self, q: float) -> float:
+        return self.sketch.quantile(q)
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            **{f"p{q}": self.percentile(q) for q in PERCENTILES},
+        }
+
+    def __repr__(self) -> str:
+        return f"MetricAggregate(n={self.count}, mean={self.mean:.4g})"
+
+
+class FleetReport:
+    """Aggregated outcome of a fleet run (any number of chunks/workers).
+
+    Carries, per metric, a :class:`MetricAggregate`; globally, the query
+    and loss counters; and, keyed by chunk index, the per-query answer
+    (region id) arrays — 8 bytes per query, the one per-query artifact
+    kept so that worker-count invariance can be asserted array-exactly.
+    Answer retention can be disabled (``keep_answers=False`` upstream)
+    for fleets where even that is too much.
+    """
+
+    __slots__ = (
+        "mode",
+        "index_kind",
+        "policy",
+        "error_model",
+        "queries",
+        "losses",
+        "attempts",
+        "metrics",
+        "answers",
+        "chunk_count",
+        "elapsed_seconds",
+    )
+
+    def __init__(
+        self,
+        mode: str = "?",
+        index_kind: str = "?",
+        policy: str = "?",
+        error_model: str = "?",
+        alpha: float = 0.01,
+    ) -> None:
+        #: ``"engine"`` (error-free batched engine) or ``"simulate"``.
+        self.mode = mode
+        self.index_kind = index_kind
+        self.policy = policy
+        self.error_model = error_model
+        self.queries = 0
+        self.losses = 0
+        self.attempts = 0
+        self.metrics: Dict[str, MetricAggregate] = {
+            name: MetricAggregate(alpha=alpha) for name in METRIC_FIELDS
+        }
+        #: chunk index -> int64 answer array (region ids) for that chunk.
+        self.answers: Dict[int, np.ndarray] = {}
+        self.chunk_count = 0
+        #: Wall-clock of the run; filled by the runner, ignored by merge
+        #: equality concerns (it is not part of the determinism contract).
+        self.elapsed_seconds: Optional[float] = None
+
+    # -- recording ------------------------------------------------------------
+
+    def observe_chunk(
+        self,
+        chunk_index: int,
+        region_ids: np.ndarray,
+        access_latency: np.ndarray,
+        tuning_time: np.ndarray,
+        energy_joules: np.ndarray,
+        losses: int = 0,
+        attempts: Optional[int] = None,
+        keep_answers: bool = True,
+    ) -> None:
+        """Fold one evaluated chunk into the report."""
+        if chunk_index in self.answers:
+            raise ReproError(f"chunk {chunk_index} folded twice")
+        n = len(region_ids)
+        self.queries += n
+        self.losses += int(losses)
+        self.attempts += (
+            int(attempts)
+            if attempts is not None
+            else int(np.sum(tuning_time))
+        )
+        self.metrics["access_latency"].observe_chunk(access_latency)
+        self.metrics["tuning_time"].observe_chunk(tuning_time)
+        self.metrics["energy_joules"].observe_chunk(energy_joules)
+        if keep_answers:
+            self.answers[chunk_index] = np.asarray(region_ids, np.int64)
+        self.chunk_count += 1
+
+    # -- merging --------------------------------------------------------------
+
+    def _reconcile_label(self, name: str, other: "FleetReport") -> str:
+        mine = getattr(self, name)
+        theirs = getattr(other, name)
+        if mine == theirs:
+            return mine
+        if self.queries == 0:
+            return theirs
+        if other.queries == 0:
+            return mine
+        raise ReproError(
+            f"cannot merge fleet reports with different {name}: "
+            f"{mine!r} vs {theirs!r}"
+        )
+
+    def merge(self, other: "FleetReport") -> "FleetReport":
+        """Fold *other* into this report (in place, associative; an
+        all-default report is the identity)."""
+        if not isinstance(other, FleetReport):
+            raise ReproError(
+                f"cannot merge FleetReport with {type(other).__name__}"
+            )
+        labels = {
+            name: self._reconcile_label(name, other)
+            for name in ("mode", "index_kind", "policy", "error_model")
+        }
+        overlap = self.answers.keys() & other.answers.keys()
+        if overlap:
+            raise ReproError(
+                f"fleet reports overlap on chunks {sorted(overlap)}"
+            )
+        for name, value in labels.items():
+            setattr(self, name, value)
+        self.queries += other.queries
+        self.losses += other.losses
+        self.attempts += other.attempts
+        for name in METRIC_FIELDS:
+            self.metrics[name].merge(other.metrics[name])
+        self.answers.update(other.answers)
+        self.chunk_count += other.chunk_count
+        return self
+
+    # -- reductions ------------------------------------------------------------
+
+    def merged_answers(self) -> np.ndarray:
+        """All retained answers concatenated in chunk order — equal to
+        the monolithic run's answer array regardless of worker count."""
+        if not self.answers:
+            return np.zeros(0, np.int64)
+        return np.concatenate(
+            [self.answers[i] for i in sorted(self.answers)]
+        )
+
+    def percentiles(self, metric: str) -> Dict[str, float]:
+        """Sketch-backed ``{"p50": ..., "p95": ..., "p99": ...}``."""
+        agg = self.metrics[metric]
+        return {f"p{q}": agg.percentile(q) for q in PERCENTILES}
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary row mirroring ``SimulationReport.summary()``
+        (percentiles come from the sketch, hence within its ~1 %
+        relative-accuracy contract of the exact order statistics)."""
+        out: Dict[str, float] = {
+            "queries": float(self.queries),
+            "losses": float(self.losses),
+            "mean_attempts": (
+                self.attempts / self.queries
+                if self.queries
+                else float("nan")
+            ),
+        }
+        for metric, label in (
+            ("access_latency", "latency"),
+            ("tuning_time", "tuning"),
+            ("energy_joules", "energy_j"),
+        ):
+            agg = self.metrics[metric]
+            out[f"{label}_mean"] = agg.mean
+            for key, value in self.percentiles(metric).items():
+                out[f"{label}_{key}"] = value
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary (answers excluded; they are a parity
+        artifact, not a result)."""
+        return {
+            "mode": self.mode,
+            "index_kind": self.index_kind,
+            "policy": self.policy,
+            "error_model": self.error_model,
+            "queries": self.queries,
+            "losses": self.losses,
+            "chunks": self.chunk_count,
+            "elapsed_seconds": self.elapsed_seconds,
+            "metrics": {
+                name: agg.to_dict() for name, agg in self.metrics.items()
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"FleetReport({self.index_kind}, mode={self.mode}, "
+            f"n={self.queries}, chunks={self.chunk_count}, "
+            f"losses={self.losses})"
+        )
+
+
+def render_fleet_report(report: FleetReport) -> str:
+    """Human-readable block for the CLI."""
+    s = report.summary()
+    lines: List[str] = [
+        f"fleet: {report.queries} queries over {report.chunk_count} chunks "
+        f"({report.mode}, index={report.index_kind})",
+    ]
+    if report.mode == "simulate":
+        lines.append(
+            f"  channel: {report.error_model}, policy={report.policy}, "
+            f"losses={report.losses}"
+        )
+    if report.elapsed_seconds:
+        rate = report.queries / report.elapsed_seconds
+        lines.append(
+            f"  elapsed: {report.elapsed_seconds:.2f}s "
+            f"({rate:,.0f} queries/s)"
+        )
+    for metric, label, unit in (
+        ("access_latency", "latency", "packets"),
+        ("tuning_time", "tuning", "reads"),
+        ("energy_joules", "energy", "mJ"),
+    ):
+        scale = 1000.0 if unit == "mJ" else 1.0
+        p = report.percentiles(metric)
+        lines.append(
+            f"  {label:<8} mean={report.metrics[metric].mean * scale:.2f} "
+            f"p50={p['p50'] * scale:.2f} p95={p['p95'] * scale:.2f} "
+            f"p99={p['p99'] * scale:.2f} {unit}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,427 @@
+"""Fleet simulation: millions of clients, bounded memory, many cores.
+
+:class:`FleetRunner` evaluates an arbitrarily large stream of point
+queries against one (paged index, schedule) pair without ever holding
+more than one chunk of per-query state:
+
+* the workload is *generated* chunk by chunk
+  (:class:`~repro.fleet.workload.UniformFleetWorkload` — chunk-size
+  invariant by construction), never materialized whole;
+* each chunk runs through the batched
+  :class:`~repro.engine.QueryEngine` (error-free ``"engine"`` mode) or
+  the lossy :class:`~repro.simulation.ChannelSimulator` (``"simulate"``
+  mode) and is immediately folded into a streaming
+  :class:`~repro.fleet.report.FleetReport`;
+* with ``workers > 1`` chunks fan out over a ``multiprocessing`` pool
+  whose workers attach the parent's compiled index/schedule arrays
+  zero-copy from a :class:`~repro.fleet.shm.ShmArena`.
+
+Determinism contract (tested in ``tests/test_fleet.py``):
+
+* ``"engine"`` mode results are bit-for-bit independent of **both** the
+  worker count and the chunk size;
+* ``"simulate"`` mode results are deterministic for a given
+  ``(seed, chunk_size)`` and independent of the worker count (each
+  chunk's channel stream is seeded by
+  :func:`~repro.fleet.workload.spawned_seed`, so chunks never share
+  channel state — which also means the chunk size is part of the fault
+  schedule's identity);
+* chunk results are folded **in chunk order** in the parent, so the
+  report's compensated sums, sketches and counters are identical for
+  every worker count.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.obs import Collector, active_collector, collecting
+from repro.broadcast.schedule import BroadcastSchedule
+from repro.engine import QueryEngine, index_family
+from repro.simulation.energy import EnergyModel
+from repro.simulation.faults import make_error_model
+from repro.simulation.simulator import ChannelSimulator
+from repro.fleet.report import FleetReport
+from repro.fleet.shm import ShmArena, attach_compiled_state, export_compiled_state
+from repro.fleet.workload import UniformFleetWorkload, spawned_seed
+
+#: Default queries per chunk — small enough that per-chunk arrays are a
+#: few MB, large enough that numpy batching dominates Python overhead.
+DEFAULT_CHUNK_SIZE = 50_000
+
+
+class FleetSpec:
+    """Everything a worker needs to evaluate chunks, picklable whole."""
+
+    __slots__ = (
+        "paged_index",
+        "schedule",
+        "params",
+        "workload",
+        "mode",
+        "index_kind",
+        "error_model_name",
+        "error_rate",
+        "mean_burst",
+        "policy",
+        "cache_packets",
+        "energy_model",
+        "alpha",
+        "keep_answers",
+    )
+
+    def __init__(
+        self,
+        paged_index,
+        schedule,
+        params,
+        workload: UniformFleetWorkload,
+        mode: str,
+        index_kind: str = "?",
+        error_model_name: str = "bernoulli",
+        error_rate: float = 0.0,
+        mean_burst: float = 4.0,
+        policy: str = "retry-next-segment",
+        cache_packets: int = 0,
+        energy_model: Optional[EnergyModel] = None,
+        alpha: float = 0.01,
+        keep_answers: bool = True,
+    ) -> None:
+        if mode not in ("engine", "simulate"):
+            raise ReproError(f"unknown fleet mode {mode!r}")
+        self.paged_index = paged_index
+        self.schedule = schedule
+        self.params = params
+        self.workload = workload
+        self.mode = mode
+        self.index_kind = index_kind
+        self.error_model_name = error_model_name
+        self.error_rate = error_rate
+        self.mean_burst = mean_burst
+        self.policy = policy
+        self.cache_packets = cache_packets
+        self.energy_model = energy_model or EnergyModel()
+        self.alpha = alpha
+        self.keep_answers = keep_answers
+
+    def __getstate__(self) -> dict:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+
+class _WorkerState:
+    """Per-process evaluation state, built once per worker."""
+
+    def __init__(
+        self,
+        spec: FleetSpec,
+        arena: Optional[ShmArena],
+        meta: Optional[dict],
+    ) -> None:
+        self.spec = spec
+        self.arena = arena  # held so the mapping outlives the views
+        views = arena.views() if arena is not None else {}
+        if spec.mode == "engine":
+            self.engine = QueryEngine(spec.paged_index, spec.schedule)
+            self.simulator = None
+            if views:
+                attach_compiled_state(
+                    spec.paged_index, views, meta or {}, engine=self.engine
+                )
+        else:
+            self.engine = None
+            self.simulator = ChannelSimulator(
+                spec.paged_index,
+                spec.schedule,
+                error_model=make_error_model(
+                    spec.error_model_name, spec.error_rate, spec.mean_burst
+                ),
+                policy=spec.policy,
+                energy_model=spec.energy_model,
+                cache_packets=spec.cache_packets,
+                index_kind=spec.index_kind,
+            )
+            if views:
+                attach_compiled_state(spec.paged_index, views, meta or {})
+
+    def labels(self) -> Dict[str, str]:
+        if self.spec.mode == "engine":
+            return {
+                "mode": "engine",
+                "index_kind": self.spec.index_kind,
+                "policy": "none",
+                "error_model": "error-free",
+            }
+        client = self.simulator.client
+        return {
+            "mode": "simulate",
+            "index_kind": self.spec.index_kind,
+            "policy": client.policy.name,
+            "error_model": repr(client.error_model),
+        }
+
+    def evaluate(
+        self, chunk_index: int, start: int, size: int, channel_seed: int
+    ) -> FleetReport:
+        """Evaluate one chunk into a single-chunk fleet report."""
+        spec = self.spec
+        report = FleetReport(alpha=spec.alpha, **self.labels())
+        if size == 0:
+            return report
+        points, issue_times = spec.workload.chunk(start, size)
+        if spec.mode == "engine":
+            result = self.engine.run(points, issue_times=issue_times)
+            tuning = result.total_tuning_time
+            energy = spec.energy_model.batch_joules(
+                tuning, result.access_latency, spec.params.packet_capacity
+            )
+            report.observe_chunk(
+                chunk_index,
+                result.region_ids,
+                result.access_latency,
+                tuning,
+                energy,
+                losses=0,
+                attempts=int(np.sum(tuning)),
+                keep_answers=spec.keep_answers,
+            )
+        else:
+            sim = self.simulator.run(
+                points, issue_times=issue_times, seed=channel_seed
+            )
+            report.observe_chunk(
+                chunk_index,
+                sim.region_ids,
+                sim.access_latency,
+                sim.tuning_time,
+                sim.energy_joules,
+                losses=sim.total_losses,
+                attempts=int(np.sum(sim.read_attempts)),
+                keep_answers=spec.keep_answers,
+            )
+        return report
+
+
+#: The per-process worker state (populated by the pool initializer).
+_WORKER: Optional[_WorkerState] = None
+
+#: One chunk task: (chunk index, start query, size, channel seed, profile).
+_ChunkTask = Tuple[int, int, int, int, bool]
+
+
+def _init_worker(
+    spec_bytes: bytes, shm_name: Optional[str], manifest, meta
+) -> None:
+    global _WORKER
+    spec = pickle.loads(spec_bytes)
+    arena = (
+        ShmArena.attach(shm_name, manifest) if shm_name is not None else None
+    )
+    _WORKER = _WorkerState(spec, arena, meta)
+
+
+def _run_chunk(task: _ChunkTask):
+    """Pool map function: evaluate one chunk in this worker."""
+    chunk_index, start, size, channel_seed, profile = task
+    worker = _WORKER
+    if profile:
+        # Fresh collector per chunk, shipped back for an explicit merge
+        # at join — ambient collectors never cross process boundaries.
+        with collecting() as col:
+            report = worker.evaluate(chunk_index, start, size, channel_seed)
+        return chunk_index, report, col
+    return chunk_index, worker.evaluate(chunk_index, start, size, channel_seed), None
+
+
+class FleetRunner:
+    """Chunked, optionally multi-process evaluation of one fleet spec."""
+
+    def __init__(
+        self,
+        spec: FleetSpec,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        workers: int = 1,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if chunk_size <= 0:
+            raise ReproError(f"chunk size must be positive, got {chunk_size}")
+        if workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        self.spec = spec
+        self.chunk_size = chunk_size
+        self.workers = workers
+        self.start_method = start_method
+
+    def _chunk_plan(self, total: int) -> List[_ChunkTask]:
+        profile = active_collector() is not None
+        seed = self.spec.workload.seed
+        tasks: List[_ChunkTask] = []
+        start = 0
+        index = 0
+        while start < total:
+            size = min(self.chunk_size, total - start)
+            tasks.append(
+                (index, start, size, spawned_seed(seed, index), profile)
+            )
+            start += size
+            index += 1
+        return tasks
+
+    def run(self, total_queries: int) -> FleetReport:
+        """Evaluate *total_queries* and return the merged fleet report."""
+        if total_queries < 0:
+            raise ReproError(
+                f"total queries must be >= 0, got {total_queries}"
+            )
+        col = active_collector()
+        tasks = self._chunk_plan(total_queries)
+        started = time.perf_counter()
+        if self.workers == 1 or len(tasks) <= 1:
+            outcomes = self._run_inline(tasks)
+        else:
+            outcomes = self._run_pool(tasks)
+
+        # Fold in chunk order — the fixed fold order is what makes the
+        # compensated sums (and therefore every reported number)
+        # independent of the worker count.
+        report = FleetReport(alpha=self.spec.alpha)
+        for _, chunk_report, chunk_col in sorted(outcomes, key=lambda o: o[0]):
+            report.merge(chunk_report)
+            if chunk_col is not None and col is not None:
+                col.merge(chunk_col)
+        report.elapsed_seconds = time.perf_counter() - started
+        if col is not None:
+            col.count("fleet.runs")
+            col.count("fleet.queries", total_queries)
+            col.count("fleet.chunks", len(tasks))
+            col.observe("fleet.chunk_size", self.chunk_size)
+            col.observe("fleet.workers", self.workers)
+        return report
+
+    def _run_inline(self, tasks: List[_ChunkTask]) -> List[tuple]:
+        """Single-process path — also the oracle the fan-out is tested
+        against.  Runs the identical per-chunk evaluation code."""
+        state = _WorkerState(self.spec, arena=None, meta=None)
+        outcomes = []
+        for chunk_index, start, size, channel_seed, profile in tasks:
+            if profile:
+                with collecting() as chunk_col:
+                    rep = state.evaluate(chunk_index, start, size, channel_seed)
+                outcomes.append((chunk_index, rep, chunk_col))
+            else:
+                outcomes.append(
+                    (
+                        chunk_index,
+                        state.evaluate(chunk_index, start, size, channel_seed),
+                        None,
+                    )
+                )
+        return outcomes
+
+    def _run_pool(self, tasks: List[_ChunkTask]) -> List[tuple]:
+        """Fan chunks out over a process pool with shared compiled state."""
+        import multiprocessing as mp
+
+        spec = self.spec
+        # Compile once in the parent; workers reattach the arrays.
+        if spec.mode == "engine":
+            parent_engine = QueryEngine(spec.paged_index, spec.schedule)
+        else:
+            parent_engine = None
+        arrays, meta = export_compiled_state(spec.paged_index, parent_engine)
+        arena = ShmArena.create(arrays) if arrays else None
+        spec_bytes = pickle.dumps(spec)
+        ctx = mp.get_context(self.start_method)
+        try:
+            with ctx.Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(
+                    spec_bytes,
+                    arena.shm.name if arena is not None else None,
+                    arena.manifest if arena is not None else None,
+                    meta,
+                ),
+            ) as pool:
+                return list(pool.imap_unordered(_run_chunk, tasks))
+        finally:
+            if arena is not None:
+                arena.close()
+                arena.unlink()
+
+
+def run_fleet(
+    total_queries: int,
+    *,
+    index_kind: str = "dtree",
+    regions: int = 200,
+    packet_capacity: int = 256,
+    mode: str = "engine",
+    error_rate: float = 0.0,
+    error_model: str = "bernoulli",
+    mean_burst: float = 4.0,
+    policy: str = "retry-next-segment",
+    cache_packets: int = 0,
+    seed: int = 0,
+    m: Optional[int] = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    workers: int = 1,
+    start_method: Optional[str] = None,
+    keep_answers: bool = True,
+    alpha: float = 0.01,
+    dataset=None,
+) -> FleetReport:
+    """Build a standard fleet scenario and run it end to end.
+
+    Constructs a uniform dataset (or uses *dataset*), builds and pages
+    the requested index family, derives the flat (1, m) schedule and a
+    :class:`UniformFleetWorkload` over the service area, then runs
+    :class:`FleetRunner` with the given chunking and worker count.
+    """
+    from repro.datasets.catalog import SERVICE_AREA, uniform_dataset
+
+    if dataset is None:
+        dataset = uniform_dataset(n=regions, seed=seed)
+    subdivision = dataset.subdivision
+    family = index_family(index_kind)
+    params = family.parameters(packet_capacity)
+    paged = family.build(subdivision, seed=seed).page(params)
+    schedule = BroadcastSchedule(
+        index_packet_count=len(paged.packets),
+        region_ids=list(subdivision.region_ids),
+        params=params,
+        m=m,
+    )
+    workload = UniformFleetWorkload(
+        SERVICE_AREA, schedule.cycle_length, seed=seed
+    )
+    spec = FleetSpec(
+        paged_index=paged,
+        schedule=schedule,
+        params=params,
+        workload=workload,
+        mode=mode,
+        index_kind=index_kind,
+        error_model_name=error_model,
+        error_rate=error_rate,
+        mean_burst=mean_burst,
+        policy=policy,
+        cache_packets=cache_packets,
+        alpha=alpha,
+        keep_answers=keep_answers,
+    )
+    runner = FleetRunner(
+        spec,
+        chunk_size=chunk_size,
+        workers=workers,
+        start_method=start_method,
+    )
+    return runner.run(total_queries)

@@ -1,0 +1,161 @@
+"""Mergeable quantile sketches for streaming fleet aggregation.
+
+A fleet run never materializes the full per-query metric arrays — a
+million latencies live and die inside their chunk — yet the report must
+still answer p50/p95/p99.  :class:`QuantileSketch` is a log-linear
+bucketed sketch in the DDSketch family: values land in buckets whose
+bounds grow geometrically by ``gamma = (1 + alpha) / (1 - alpha)``, so
+any quantile is answered with relative error at most ``alpha``
+regardless of how many values were observed, and the sketch stays a few
+hundred integers for any input range.
+
+Two properties carry the fleet design:
+
+* **merge is exact** — bucket boundaries are value-determined, not
+  data-determined, so merging per-chunk sketches (in any grouping)
+  yields the identical bucket table the monolithic observation stream
+  would have produced; merged quantiles equal monolithic-sketch
+  quantiles bit for bit;
+* **observation is vectorized** — a chunk's values are bucketed with
+  one ``log``/``ceil``/``bincount`` pass, no per-value Python.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: Default relative accuracy of quantile answers.
+DEFAULT_ALPHA = 0.01
+
+#: Values at or below this magnitude collapse into the zero bucket
+#: (latency/tuning/energy metrics are non-negative; exact zeros happen,
+#: denormal-scale positives do not).
+ZERO_THRESHOLD = 1e-12
+
+
+class QuantileSketch:
+    """Log-linear quantile sketch with exact merge.
+
+    Observed values must be non-negative (the fleet metrics — packet
+    latencies, tuning counts, joules — all are).  Exact ``min``/``max``
+    are tracked alongside the buckets, so extreme quantiles are clamped
+    to the observed range and a single-value sketch answers every
+    quantile exactly.
+    """
+
+    __slots__ = ("alpha", "count", "zero_count", "minimum", "maximum",
+                 "buckets", "_log_gamma")
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ReproError(f"alpha must be in (0, 1), got {alpha}")
+        self.alpha = alpha
+        self.count = 0
+        self.zero_count = 0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        #: bucket index -> count; value v > 0 lands in ceil(log_gamma(v)).
+        self.buckets: Dict[int, int] = {}
+        self._log_gamma = math.log((1.0 + alpha) / (1.0 - alpha))
+
+    # -- recording ----------------------------------------------------------
+
+    def observe_batch(self, values) -> None:
+        """Fold a whole array of non-negative values into the sketch."""
+        arr = np.asarray(values, np.float64)
+        if arr.size == 0:
+            return
+        lo = float(arr.min())
+        if lo < 0.0:
+            raise ReproError(f"sketch values must be >= 0, got {lo}")
+        self.count += int(arr.size)
+        self.minimum = min(self.minimum, lo)
+        self.maximum = max(self.maximum, float(arr.max()))
+        positive = arr[arr > ZERO_THRESHOLD]
+        self.zero_count += int(arr.size - positive.size)
+        if positive.size:
+            idx = np.ceil(np.log(positive) / self._log_gamma).astype(np.int64)
+            uniq, counts = np.unique(idx, return_counts=True)
+            for i, c in zip(uniq.tolist(), counts.tolist()):
+                self.buckets[i] = self.buckets.get(i, 0) + c
+
+    def observe(self, value: float) -> None:
+        """Scalar convenience wrapper over :meth:`observe_batch`."""
+        self.observe_batch(np.asarray([value], np.float64))
+
+    # -- merging ------------------------------------------------------------
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold *other* into this sketch (in place, exact, associative)."""
+        if other.alpha != self.alpha:
+            raise ReproError(
+                f"cannot merge sketches with different accuracy: "
+                f"{self.alpha} vs {other.alpha}"
+            )
+        self.count += other.count
+        self.zero_count += other.zero_count
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        for i, c in other.buckets.items():
+            self.buckets[i] = self.buckets.get(i, 0) + c
+        return self
+
+    # -- quantiles ----------------------------------------------------------
+
+    def quantile(self, q: float) -> float:
+        """Value at percentile *q* (0..100), within ``alpha`` relative
+        error of the exact order statistic; NaN on an empty sketch."""
+        if not 0.0 <= q <= 100.0:
+            raise ReproError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return float("nan")
+        # Same rank convention as np.percentile's nearest-rank backbone.
+        rank = q / 100.0 * (self.count - 1)
+        target = int(math.floor(rank)) + 1  # 1-based rank to cover
+        if target <= self.zero_count:
+            return 0.0
+        cumulative = self.zero_count
+        for i in sorted(self.buckets):
+            cumulative += self.buckets[i]
+            if cumulative >= target:
+                gamma = (1.0 + self.alpha) / (1.0 - self.alpha)
+                estimate = 2.0 * gamma ** i / (gamma + 1.0)
+                return min(max(estimate, self.minimum), self.maximum)
+        return self.maximum  # pragma: no cover - counts always add up
+
+    def quantiles(self, qs: Iterable[float]) -> Dict[str, float]:
+        """``{"p50": ..., ...}`` for an iterable of percentiles."""
+        return {f"p{q:g}": self.quantile(q) for q in qs}
+
+    # -- (de)serialization --------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "alpha": self.alpha,
+            "count": self.count,
+            "zero_count": self.zero_count,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "buckets": {str(i): c for i, c in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QuantileSketch":
+        sketch = cls(alpha=data["alpha"])
+        sketch.count = int(data["count"])
+        sketch.zero_count = int(data["zero_count"])
+        sketch.minimum = math.inf if data["min"] is None else float(data["min"])
+        sketch.maximum = -math.inf if data["max"] is None else float(data["max"])
+        sketch.buckets = {int(i): int(c) for i, c in data["buckets"].items()}
+        return sketch
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantileSketch(n={self.count}, alpha={self.alpha:g}, "
+            f"buckets={len(self.buckets)})"
+        )

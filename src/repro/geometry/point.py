@@ -23,6 +23,11 @@ class Point:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Point is immutable")
 
+    def __reduce__(self) -> Tuple[type, Tuple[float, float]]:
+        # Default pickling restores slots via __setattr__, which the
+        # immutability guard rejects; rebuild through __init__ instead.
+        return (Point, (self.x, self.y))
+
     # -- basic protocol ----------------------------------------------------
 
     def __repr__(self) -> str:

@@ -82,22 +82,35 @@ class Polygon:
 
     @property
     def centroid(self) -> Point:
-        """Area centroid."""
+        """Area centroid.
+
+        Computed relative to the first vertex: the raw shoelace sums mix
+        terms of magnitude ~|v|^2 whose cancellation error can exceed the
+        width of a thin polygon, pushing the result outside the ring.
+        Translated coordinates keep the error at the scale of the polygon
+        itself.
+        """
+        verts = self.vertices
+        ox = verts[0].x
+        oy = verts[0].y
         a2 = 0.0
         cx = 0.0
         cy = 0.0
-        verts = self.vertices
         n = len(verts)
         for i in range(n):
             p = verts[i]
             q = verts[(i + 1) % n]
-            cross = p.cross(q)
+            px = p.x - ox
+            py = p.y - oy
+            qx = q.x - ox
+            qy = q.y - oy
+            cross = px * qy - py * qx
             a2 += cross
-            cx += (p.x + q.x) * cross
-            cy += (p.y + q.y) * cross
+            cx += (px + qx) * cross
+            cy += (py + qy) * cross
         if abs(a2) <= EPS:
             raise GeometryError("centroid of a degenerate polygon")
-        return Point(cx / (3.0 * a2), cy / (3.0 * a2))
+        return Point(ox + cx / (3.0 * a2), oy + cy / (3.0 * a2))
 
     # -- structure ------------------------------------------------------------
 

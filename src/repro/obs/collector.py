@@ -19,6 +19,7 @@ is.  Three consequences:
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from time import perf_counter
 from typing import Dict, Iterator, List, Optional, Sequence
@@ -68,6 +69,23 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold *other*'s observations into this histogram (in place).
+
+        Merging is exact — the bucket layout is value-determined, not
+        data-determined — so a histogram merged from per-worker shards
+        equals the histogram of the monolithic observation stream.
+        """
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        for le, n in other.buckets.items():
+            self.buckets[le] = self.buckets.get(le, 0) + n
+        return self
 
     def to_dict(self) -> dict:
         return {
@@ -217,6 +235,37 @@ class Collector:
         """A ``with``-block span timed with ``perf_counter``."""
         return _SpanContext(self, name)
 
+    # -- merging ------------------------------------------------------------
+
+    def merge(self, other: "Collector") -> "Collector":
+        """Fold *other*'s counters, histograms and spans into this
+        collector (in place), returning ``self``.
+
+        This is the join step of a multi-process run: each worker records
+        into its own fresh collector (ambient installs never cross a
+        ``fork``/``spawn`` boundary — see :func:`active_collector`) and the
+        parent merges the shards.  Counter merge is plain addition and
+        histogram merge is exact, so a merged profile equals the profile
+        of a monolithic run when the shards are merged in a deterministic
+        order.  Span records keep their per-process relative timestamps;
+        overflow past ``max_spans`` is counted, never raised.
+        """
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = Histogram()
+            mine.merge(hist)
+        room = self.max_spans - len(self.spans)
+        if room >= len(other.spans):
+            self.spans.extend(other.spans)
+        else:
+            self.spans.extend(other.spans[:max(room, 0)])
+            self.dropped_spans += len(other.spans) - max(room, 0)
+        self.dropped_spans += other.dropped_spans
+        return self
+
     # -- reductions ---------------------------------------------------------
 
     def span_totals(self) -> Dict[str, dict]:
@@ -246,6 +295,25 @@ class Collector:
 
 #: The installed collector, or None (the default: observability off).
 _ACTIVE: Optional[Collector] = None
+
+
+def _reset_in_child() -> None:
+    """Drop any installed collector in a freshly forked child.
+
+    The handle is ambient module state: under the ``fork`` start method a
+    child would otherwise inherit the parent's collector and record into
+    a copy the parent never sees (and whose span stack may be mid-span at
+    the fork instant).  Workers that want observability install a fresh
+    collector and hand it back for an explicit :meth:`Collector.merge` at
+    join — that is the only supported cross-process flow.  ``spawn``
+    children are safe by construction (module state starts fresh).
+    """
+    global _ACTIVE
+    _ACTIVE = None
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - posix
+    os.register_at_fork(after_in_child=_reset_in_child)
 
 
 def active_collector() -> Optional[Collector]:

@@ -234,6 +234,51 @@ class PagedKDSplitTree:
 
         walk(self.tree.root)
 
+    def _nodes_preorder(self) -> List[object]:
+        """Every tree node in the DFS preorder of :meth:`_allocate`."""
+        out: List[object] = []
+
+        def walk(node) -> None:
+            out.append(node)
+            if isinstance(node, KDSplitNode):
+                walk(node.left)
+                walk(node.right)
+
+        walk(self.tree.root)
+        return out
+
+    def __getstate__(self) -> dict:
+        """Make the paged tree picklable (fleet workers under ``spawn``).
+
+        Both packet maps are keyed by ``id(node)`` — meaningless in
+        another process — so they are shipped keyed by the node's DFS
+        preorder position and re-keyed on restore.
+        """
+        state = dict(self.__dict__)
+        order = {id(node): i for i, node in enumerate(self._nodes_preorder())}
+        state["_node_packet"] = [
+            self._node_packet[id(node)] for node in self._nodes_preorder()
+        ]
+        state["_shape_packets"] = {
+            (order[nid], rid): ids
+            for (nid, rid), ids in self._shape_packets.items()
+        }
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        packets_preorder = state.pop("_node_packet")
+        shapes_by_pos = state.pop("_shape_packets")
+        self.__dict__.update(state)
+        nodes = self._nodes_preorder()
+        self._node_packet = {
+            id(node): packet
+            for node, packet in zip(nodes, packets_preorder)
+        }
+        self._shape_packets = {
+            (id(nodes[pos]), rid): ids
+            for (pos, rid), ids in shapes_by_pos.items()
+        }
+
     def trace(self, point: Point) -> QueryTrace:
         accesses: List[int] = []
         node = self.tree.root

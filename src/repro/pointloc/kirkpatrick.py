@@ -429,6 +429,28 @@ class PagedTrianTree:
             packet.allocate(size, f"trinode@{id(node):x}")
             self._node_packet[id(node)] = packet.packet_id
 
+    def __getstate__(self) -> dict:
+        """Make the paged DAG picklable (fleet workers under ``spawn``).
+
+        ``_node_packet`` is keyed by ``id(node)``, so it is shipped as a
+        packet list aligned with ``self._order`` (whose elements pickle
+        identity-consistently with the tree via the pickle memo) and
+        re-keyed on restore.
+        """
+        state = dict(self.__dict__)
+        state["_node_packet"] = [
+            self._node_packet[id(node)] for node in self._order
+        ]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        packets_ordered = state.pop("_node_packet")
+        self.__dict__.update(state)
+        self._node_packet = {
+            id(node): packet
+            for node, packet in zip(self._order, packets_ordered)
+        }
+
     def trace(self, point: Point) -> QueryTrace:
         """Traced descent: each candidate triangle test reads its node."""
         accesses: List[int] = [self._root_dir_packet]

@@ -374,6 +374,63 @@ class TrapTree:
             raise IndexBuildError("trapezoidal search structure is not a DAG")
         return order
 
+    def __getstate__(self) -> dict:
+        """Serialize the DAG as a flat node table.
+
+        Default recursive pickling overflows the interpreter stack on
+        the node/parent-link chains of a realistic map, so the DAG is
+        flattened to ``(kind, payload, child, child)`` rows indexed in
+        topological order and rebuilt iteratively on restore.  The
+        construction-only ``parents`` / ``trap.leaf`` back-references
+        are re-established by the rebuild.
+        """
+        state = dict(self.__dict__)
+        nodes = self.nodes_topological()
+        index = {id(node): i for i, node in enumerate(nodes)}
+        table: List[tuple] = []
+        for node in nodes:
+            if isinstance(node, _XNode):
+                table.append(
+                    ("x", node.point, index[id(node.left)], index[id(node.right)])
+                )
+            elif isinstance(node, _YNode):
+                table.append(
+                    ("y", node.seg, index[id(node.above)], index[id(node.below)])
+                )
+            else:
+                trap = node.trap
+                table.append(
+                    (
+                        "leaf",
+                        (trap.top, trap.bottom, trap.leftp, trap.rightp),
+                        None,
+                        None,
+                    )
+                )
+        state.pop("root")
+        state["_dag_table"] = table
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        table = state.pop("_dag_table")
+        self.__dict__.update(state)
+        nodes: List[_Node] = []
+        for kind, payload, _, _ in table:
+            if kind == "x":
+                nodes.append(_XNode(payload))
+            elif kind == "y":
+                nodes.append(_YNode(payload))
+            else:
+                nodes.append(_Leaf(_Trapezoid(*payload)))
+        for (kind, _, first, second), node in zip(table, nodes):
+            if kind == "x":
+                _set_child(node, "left", nodes[first])
+                _set_child(node, "right", nodes[second])
+            elif kind == "y":
+                _set_child(node, "above", nodes[first])
+                _set_child(node, "below", nodes[second])
+        self.root = nodes[0]
+
     def node_counts(self) -> Dict[str, int]:
         """Number of x-nodes, y-nodes and leaves (diagnostics)."""
         counts = {"x": 0, "y": 0, "leaf": 0}
@@ -449,6 +506,31 @@ class PagedTrapTree:
         # root handling: ensure it landed in packet 0
         if self._node_packet[id(order[0])] != 0:
             raise PagingError("root not in the first packet")
+
+    def __getstate__(self) -> dict:
+        """Make the paged DAG picklable (fleet workers under ``spawn``).
+
+        ``_node_packet`` is keyed by ``id(node)`` — meaningless in
+        another process — so it is shipped as a packet list in the
+        (structure-determined, hence pickle-stable) topological order
+        and re-keyed against the unpickled node objects on restore.
+        """
+        state = dict(self.__dict__)
+        state["_node_packet"] = [
+            self._node_packet[id(node)]
+            for node in self.tree.nodes_topological()
+        ]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        packets_ordered = state.pop("_node_packet")
+        self.__dict__.update(state)
+        self._node_packet = {
+            id(node): packet
+            for node, packet in zip(
+                self.tree.nodes_topological(), packets_ordered
+            )
+        }
 
     def trace(self, point: Point) -> QueryTrace:
         """Traced DAG descent (plain point query)."""

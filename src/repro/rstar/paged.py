@@ -108,6 +108,46 @@ class PagedRStarTree:
 
         walk(self.tree.root)
 
+    # -- pickling -------------------------------------------------------------
+
+    def _nodes_preorder(self) -> List[RStarNode]:
+        """Every tree node in the DFS preorder of :meth:`_allocate`."""
+        out: List[RStarNode] = []
+
+        def walk(node: RStarNode) -> None:
+            out.append(node)
+            if not node.is_leaf:
+                for entry in node.entries:
+                    walk(entry.child)
+
+        walk(self.tree.root)
+        return out
+
+    def __getstate__(self) -> dict:
+        """Make the paged tree picklable (fleet workers under ``spawn``).
+
+        ``_node_packet`` is keyed by ``id(node)`` — meaningless in
+        another process — so it is shipped as a packet list in DFS
+        preorder and re-keyed against the unpickled node objects on
+        restore.  The compiled-tracer cache is dropped: it is derived
+        state, rebuilt on demand (or reattached from shared memory by
+        the fleet layer).
+        """
+        state = dict(self.__dict__)
+        state.pop("_compiled_rstar", None)
+        state["_node_packet"] = [
+            self._node_packet[id(node)] for node in self._nodes_preorder()
+        ]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        packets_preorder = state.pop("_node_packet")
+        self.__dict__.update(state)
+        self._node_packet = {
+            id(node): packet
+            for node, packet in zip(self._nodes_preorder(), packets_preorder)
+        }
+
     # -- traced query ---------------------------------------------------------
 
     def trace(self, point: Point) -> QueryTrace:

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import BroadcastError
 
 
@@ -71,6 +73,30 @@ class EnergyModel:
         slot = self.packet_seconds(packet_capacity)
         active_s = read_attempts * slot
         doze_s = max(access_latency - read_attempts, 0.0) * slot
+        return (self.receive_mw * active_s + self.doze_mw * doze_s) / 1000.0
+
+    def batch_joules(
+        self,
+        read_attempts,
+        access_latency,
+        packet_capacity: int,
+    ):
+        """Vectorized :meth:`query_joules` over per-query arrays.
+
+        Element *i* equals ``query_joules(read_attempts[i],
+        access_latency[i], packet_capacity)`` bit for bit (the same
+        IEEE-754 expression evaluated elementwise), so fleet chunks can
+        charge a whole chunk in one call.  Returns a float64 array.
+        """
+        attempts = np.asarray(read_attempts, np.float64)
+        latency = np.asarray(access_latency, np.float64)
+        if attempts.size and float(attempts.min()) < 0:
+            raise BroadcastError(
+                f"read attempts must be >= 0, got {float(attempts.min())}"
+            )
+        slot = self.packet_seconds(packet_capacity)
+        active_s = attempts * slot
+        doze_s = np.maximum(latency - attempts, 0.0) * slot
         return (self.receive_mw * active_s + self.doze_mw * doze_s) / 1000.0
 
     def query_components(

@@ -54,9 +54,9 @@ class SimulationReport:
         packet_losses: np.ndarray,
         read_attempts: np.ndarray,
     ) -> None:
+        # n == 0 is legal: an empty chunk (or an all-filtered workload)
+        # produces an empty report, the identity of :meth:`merge`.
         n = len(region_ids)
-        if n == 0:
-            raise BroadcastError("a simulation report needs at least one query")
         for name, array in (
             ("issue_times", issue_times),
             ("access_latency", access_latency),
@@ -129,6 +129,76 @@ class SimulationReport:
         "read_attempts",
     )
 
+    #: dtype of each per-query array, as the simulator produces them.
+    _ARRAY_DTYPES = {
+        "issue_times": np.float64,
+        "region_ids": np.int64,
+        "access_latency": np.float64,
+        "tuning_time": np.int64,
+        "energy_joules": np.float64,
+        "packet_losses": np.int64,
+        "read_attempts": np.int64,
+    }
+
+    @classmethod
+    def empty(
+        cls,
+        index_kind: str = "?",
+        policy: str = "?",
+        error_model: str = "?",
+    ) -> "SimulationReport":
+        """A zero-query report with the simulator's canonical dtypes —
+        the identity element of :meth:`merge`."""
+        return cls(
+            index_kind=index_kind,
+            policy=policy,
+            error_model=error_model,
+            **{
+                name: np.zeros(0, dtype)
+                for name, dtype in cls._ARRAY_DTYPES.items()
+            },
+        )
+
+    # -- merging ------------------------------------------------------------
+
+    def merge(self, other: "SimulationReport") -> "SimulationReport":
+        """Concatenate two reports into a new one (exact, order-preserving).
+
+        The merge algebra is what fleet fan-out relies on: it is
+        associative, has :meth:`empty` as identity, and merging per-chunk
+        reports in chunk order reproduces the monolithic run's arrays
+        bit for bit (same per-query values, same order).  Labels must
+        agree unless one side is empty with placeholder labels, in which
+        case the non-empty side's labels win.
+        """
+        if not isinstance(other, SimulationReport):
+            raise BroadcastError(
+                f"cannot merge SimulationReport with {type(other).__name__}"
+            )
+        labels: Dict[str, str] = {}
+        for name in ("index_kind", "policy", "error_model"):
+            mine, theirs = getattr(self, name), getattr(other, name)
+            if mine == theirs:
+                labels[name] = mine
+            elif len(self) == 0:
+                labels[name] = theirs
+            elif len(other) == 0:
+                labels[name] = mine
+            else:
+                raise BroadcastError(
+                    f"cannot merge reports with different {name}: "
+                    f"{mine!r} vs {theirs!r}"
+                )
+        return SimulationReport(
+            **labels,
+            **{
+                name: np.concatenate(
+                    [getattr(self, name), getattr(other, name)]
+                )
+                for name in self._ARRAY_FIELDS
+            },
+        )
+
     # -- (de)serialization --------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
@@ -168,19 +238,31 @@ class SimulationReport:
 
     def percentiles(self, metric: str) -> Dict[str, float]:
         """``{"p50": ..., "p95": ..., "p99": ...}`` of one metric array
-        (``"access_latency"``, ``"tuning_time"`` or ``"energy_joules"``)."""
+        (``"access_latency"``, ``"tuning_time"`` or ``"energy_joules"``).
+
+        An empty report has no order statistics: every percentile is NaN
+        (``np.percentile`` would raise on the empty array).
+        """
         array = getattr(self, metric)
+        if len(array) == 0:
+            return {f"p{q}": float("nan") for q in PERCENTILES}
         return {
             f"p{q}": float(np.percentile(array, q)) for q in PERCENTILES
         }
 
     def summary(self) -> Dict[str, float]:
         """Flat dict of means and percentiles for every metric, plus loss
-        counts — the row the CLI and benchmarks print."""
+        counts — the row the CLI and benchmarks print.
+
+        NaN-safe on an empty report: counts are 0, every mean and
+        percentile is NaN (undefined, not an error)."""
+        empty = len(self) == 0
         out: Dict[str, float] = {
             "queries": float(len(self)),
             "losses": float(self.total_losses),
-            "mean_attempts": float(self.read_attempts.mean()),
+            "mean_attempts": (
+                float("nan") if empty else float(self.read_attempts.mean())
+            ),
         }
         for metric, label in (
             ("access_latency", "latency"),
@@ -188,7 +270,9 @@ class SimulationReport:
             ("energy_joules", "energy_j"),
         ):
             array = getattr(self, metric)
-            out[f"{label}_mean"] = float(array.mean())
+            out[f"{label}_mean"] = (
+                float("nan") if empty else float(array.mean())
+            )
             for key, value in self.percentiles(metric).items():
                 out[f"{label}_{key}"] = value
         return out

@@ -10,6 +10,23 @@ from repro.tessellation.grid import grid_subdivision
 from repro.tessellation.voronoi import voronoi_subdivision
 
 
+@pytest.fixture(autouse=True)
+def _reset_obs_collector():
+    """Guarantee no test inherits (or leaks) an installed obs collector.
+
+    The ``repro.obs`` handle is module-global ambient state; a test that
+    installs a collector and fails before uninstalling would silently
+    change every later test's instrumented code path.  Save/clear before
+    and hard-restore after, so test order can never matter.
+    """
+    from repro.obs import collector as obs_collector
+
+    previous = obs_collector._ACTIVE
+    obs_collector._ACTIVE = None
+    yield
+    obs_collector._ACTIVE = previous
+
+
 @pytest.fixture(scope="session")
 def grid4x4():
     """4x4 grid subdivision (closed-form answers)."""

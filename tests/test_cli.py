@@ -136,3 +136,51 @@ class TestCli:
             ]
         )
         assert not (tmp_path / "profile.json").exists()
+
+    def test_fleet_engine_mode(self, capsys):
+        status = main(
+            [
+                "fleet",
+                "--queries",
+                "600",
+                "--chunk-size",
+                "200",
+                "--regions",
+                "20",
+                "--index",
+                "dtree",
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "fleet: 600 queries over 3 chunks" in out
+        assert "latency" in out and "energy" in out
+
+    def test_fleet_simulate_with_profile(self, capsys, tmp_path):
+        from repro.obs import validate_profile
+
+        target = tmp_path / "fleet.json"
+        status = main(
+            [
+                "fleet",
+                "--queries",
+                "300",
+                "--chunk-size",
+                "150",
+                "--regions",
+                "20",
+                "--mode",
+                "simulate",
+                "--error-rate",
+                "0.1",
+                "--profile",
+                str(target),
+            ]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "channel:" in out
+        doc = json.loads(target.read_text())
+        assert validate_profile(doc)
+        assert doc["counters"]["fleet.queries"] == 300
+        assert doc["counters"]["sim.queries"] == 300

@@ -1,0 +1,212 @@
+"""Unit tests for the fleet aggregation layer: the mergeable quantile
+sketch, the compensated metric aggregate and the fleet report algebra."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.fleet import FleetReport, MetricAggregate, QuantileSketch
+from repro.fleet.report import METRIC_FIELDS, render_fleet_report
+
+
+class TestQuantileSketch:
+    def test_empty_sketch_is_nan(self):
+        sketch = QuantileSketch()
+        assert math.isnan(sketch.quantile(50))
+
+    def test_single_value(self):
+        sketch = QuantileSketch()
+        sketch.observe_batch([42.0])
+        for q in (0, 50, 95, 99, 100):
+            assert sketch.quantile(q) == 42.0
+
+    def test_relative_accuracy_contract(self):
+        rng = np.random.default_rng(7)
+        values = rng.exponential(scale=100.0, size=20_000)
+        sketch = QuantileSketch(alpha=0.01)
+        sketch.observe_batch(values)
+        for q in (50, 95, 99):
+            exact = float(np.percentile(values, q))
+            estimate = sketch.quantile(q)
+            assert abs(estimate - exact) <= 0.02 * exact + 1e-9
+
+    def test_zero_values_tracked_exactly(self):
+        sketch = QuantileSketch()
+        sketch.observe_batch(np.zeros(100))
+        assert sketch.zero_count == 100
+        assert sketch.quantile(50) == 0.0
+
+    def test_merge_equals_monolithic(self):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(0.0, 500.0, size=10_000)
+        whole = QuantileSketch()
+        whole.observe_batch(values)
+        left = QuantileSketch()
+        right = QuantileSketch()
+        left.observe_batch(values[:3_000])
+        right.observe_batch(values[3_000:])
+        left.merge(right)
+        assert left.count == whole.count
+        assert left.buckets == whole.buckets
+        assert left.minimum == whole.minimum
+        assert left.maximum == whole.maximum
+        for q in (50, 95, 99):
+            assert left.quantile(q) == whole.quantile(q)
+
+    def test_merge_rejects_alpha_mismatch(self):
+        with pytest.raises(ReproError):
+            QuantileSketch(alpha=0.01).merge(QuantileSketch(alpha=0.02))
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ReproError):
+            QuantileSketch().observe_batch([-1.0])
+
+    def test_dict_round_trip(self):
+        sketch = QuantileSketch()
+        sketch.observe_batch(np.arange(1, 1000, dtype=np.float64))
+        again = QuantileSketch.from_dict(json.loads(json.dumps(sketch.to_dict())))
+        assert again.buckets == sketch.buckets
+        for q in (50, 95, 99):
+            assert again.quantile(q) == sketch.quantile(q)
+
+
+class TestMetricAggregate:
+    def test_compensated_sum_matches_fsum(self):
+        # Chunk sums spanning many magnitudes: naive accumulation drifts,
+        # the Neumaier-compensated total must match math.fsum exactly.
+        rng = np.random.default_rng(11)
+        chunks = [rng.uniform(0, 10 ** rng.integers(0, 9), size=50) for _ in range(200)]
+        agg = MetricAggregate()
+        for chunk in chunks:
+            agg.observe_chunk(chunk)
+        oracle = math.fsum(float(np.sum(c)) for c in chunks)
+        assert agg.total == pytest.approx(oracle, rel=1e-15, abs=0.0)
+        assert agg.count == sum(len(c) for c in chunks)
+
+    def test_merge_in_order_reproduces_sequential_fold(self):
+        rng = np.random.default_rng(13)
+        chunks = [rng.uniform(0, 1e6, size=100) for _ in range(20)]
+        sequential = MetricAggregate()
+        for chunk in chunks:
+            sequential.observe_chunk(chunk)
+        merged = MetricAggregate()
+        for chunk in chunks:
+            shard = MetricAggregate()
+            shard.observe_chunk(chunk)
+            merged.merge(shard)
+        assert merged.total == sequential.total
+        assert merged._sum == sequential._sum
+        assert merged._comp == sequential._comp
+        assert merged.minimum == sequential.minimum
+        assert merged.maximum == sequential.maximum
+
+    def test_empty_aggregate_reductions(self):
+        agg = MetricAggregate()
+        assert agg.count == 0
+        assert math.isnan(agg.mean)
+        assert math.isnan(agg.percentile(50))
+        d = agg.to_dict()
+        assert d["count"] == 0 and d["min"] is None and d["max"] is None
+
+
+def _chunk_report(chunk_index, n=10, latency=40.0, mode="engine", kind="dtree"):
+    report = FleetReport(mode=mode, index_kind=kind, policy="none",
+                         error_model="error-free")
+    report.observe_chunk(
+        chunk_index,
+        region_ids=np.arange(n, dtype=np.int64) + chunk_index * n,
+        access_latency=np.full(n, latency),
+        tuning_time=np.full(n, 7.0),
+        energy_joules=np.full(n, 0.01),
+        losses=0,
+        attempts=7 * n,
+    )
+    return report
+
+
+class TestFleetReportAlgebra:
+    def test_identity_merge(self):
+        report = _chunk_report(0)
+        merged = FleetReport().merge(report)
+        assert merged.queries == report.queries
+        assert merged.mode == "engine"
+        assert merged.index_kind == "dtree"
+        np.testing.assert_array_equal(
+            merged.merged_answers(), report.merged_answers()
+        )
+
+    def test_associativity(self):
+        def fold_left():
+            return _chunk_report(0).merge(_chunk_report(1)).merge(_chunk_report(2))
+
+        def fold_right():
+            return _chunk_report(0).merge(_chunk_report(1).merge(_chunk_report(2)))
+
+        a, b = fold_left(), fold_right()
+        assert a.queries == b.queries
+        assert a.summary() == b.summary()
+        np.testing.assert_array_equal(a.merged_answers(), b.merged_answers())
+
+    def test_merged_answers_are_chunk_ordered(self):
+        merged = FleetReport().merge(_chunk_report(1)).merge(_chunk_report(0))
+        np.testing.assert_array_equal(merged.merged_answers(), np.arange(20))
+
+    def test_overlapping_chunks_rejected(self):
+        with pytest.raises(ReproError):
+            _chunk_report(0).merge(_chunk_report(0))
+
+    def test_double_fold_rejected(self):
+        report = _chunk_report(0)
+        with pytest.raises(ReproError):
+            report.observe_chunk(
+                0,
+                region_ids=np.arange(3, dtype=np.int64),
+                access_latency=np.ones(3),
+                tuning_time=np.ones(3),
+                energy_joules=np.ones(3),
+            )
+
+    def test_label_conflict_rejected(self):
+        with pytest.raises(ReproError):
+            _chunk_report(0, kind="dtree").merge(_chunk_report(1, kind="rstar"))
+
+    def test_merge_rejects_other_types(self):
+        with pytest.raises(ReproError):
+            FleetReport().merge("not a report")
+
+    def test_summary_keys_mirror_simulation_report(self):
+        s = _chunk_report(0).summary()
+        for key in (
+            "queries", "losses", "mean_attempts",
+            "latency_mean", "latency_p50", "latency_p95", "latency_p99",
+            "tuning_mean", "tuning_p50", "tuning_p95", "tuning_p99",
+            "energy_j_mean", "energy_j_p50", "energy_j_p95", "energy_j_p99",
+        ):
+            assert key in s
+
+    def test_empty_summary_nan_safe(self):
+        s = FleetReport().summary()
+        assert s["queries"] == 0.0
+        assert math.isnan(s["mean_attempts"])
+        assert math.isnan(s["latency_mean"])
+
+    def test_to_dict_json_serializable(self):
+        doc = json.loads(json.dumps(_chunk_report(0).to_dict()))
+        assert doc["queries"] == 10
+        assert set(doc["metrics"]) == set(METRIC_FIELDS)
+
+    def test_render_includes_throughput_and_metrics(self):
+        report = _chunk_report(0)
+        report.elapsed_seconds = 2.0
+        text = render_fleet_report(report)
+        assert "10 queries" in text
+        assert "queries/s" in text
+        assert "latency" in text and "energy" in text
+
+    def test_render_simulate_mode_shows_channel(self):
+        report = _chunk_report(0, mode="simulate")
+        text = render_fleet_report(report)
+        assert "channel:" in text

@@ -289,3 +289,91 @@ class TestInstrumentationSmoke:
             )
         assert col.histograms["kernels.locate_batch.size"].count == 1
         assert col.histograms["kernels.locate_batch.size"].max == 20.0
+
+
+class TestMerge:
+    """Collector/Histogram merge — the join step of multi-process runs."""
+
+    def test_histogram_merge_equals_monolithic(self):
+        values = [0.5, 1.0, 3.0, 17.0, 1024.0, 2.0, 9.0]
+        whole = Histogram()
+        for v in values:
+            whole.observe(v)
+        left, right = Histogram(), Histogram()
+        for v in values[:3]:
+            left.observe(v)
+        for v in values[3:]:
+            right.observe(v)
+        left.merge(right)
+        assert left.count == whole.count
+        assert left.total == whole.total
+        assert left.min == whole.min and left.max == whole.max
+        assert left.buckets == whole.buckets
+
+    def test_histogram_merge_with_empty_is_identity(self):
+        hist = Histogram()
+        hist.observe(5.0)
+        before = hist.to_dict()
+        hist.merge(Histogram())
+        assert hist.to_dict() == before
+        empty = Histogram()
+        empty.merge(hist)
+        assert empty.to_dict() == before
+
+    def test_collector_merge_counters_histograms_spans(self):
+        a, b = Collector(), Collector()
+        a.count("shared", 2)
+        a.observe("h", 3.0)
+        with a.span("left"):
+            pass
+        b.count("shared", 5)
+        b.count("only_b")
+        b.observe("h", 9.0)
+        with b.span("right"):
+            pass
+        a.merge(b)
+        assert a.counters["shared"] == 7
+        assert a.counters["only_b"] == 1
+        assert a.histograms["h"].count == 2
+        assert {s.name for s in a.spans} == {"left", "right"}
+
+    def test_collector_merge_respects_span_cap(self):
+        a = Collector(max_spans=3)
+        b = Collector()
+        for _ in range(2):
+            with a.span("a"):
+                pass
+        for _ in range(4):
+            with b.span("b"):
+                pass
+        a.merge(b)
+        assert len(a.spans) == 3
+        assert a.dropped_spans == 3
+
+
+class TestForkSafety:
+    def test_child_does_not_inherit_ambient_collector(self):
+        import multiprocessing as mp
+
+        if not hasattr(mp, "get_context"):
+            pytest.skip("multiprocessing unavailable")
+        ctx = mp.get_context("fork")
+        with collecting():
+            with ctx.Pool(1) as pool:
+                inherited = pool.apply(_child_sees_collector)
+        assert inherited is False
+
+    def test_reset_in_child_clears_handle(self):
+        from repro.obs.collector import _reset_in_child
+
+        install(Collector())
+        try:
+            _reset_in_child()
+            assert active_collector() is None
+        finally:
+            uninstall()
+
+
+def _child_sees_collector():
+    """Pool task: report whether an ambient collector leaked into us."""
+    return active_collector() is not None
