@@ -1,0 +1,103 @@
+"""Quarantined deprecation shims (the PR 6 deprecation cycle's tail).
+
+Every deprecated spelling the package still accepts lives here, in one
+place, so the rest of the codebase stays warning-free: importing
+``repro`` (or any submodule) emits no :class:`DeprecationWarning` —
+warnings fire only when a deprecated spelling is actually *used*
+(asserted in ``tests/test_deprecated.py``).
+
+Current shims, all slated for removal in 2.0:
+
+* the pre-1.5 CLI spelling ``python -m repro figure10`` (forwarded to
+  ``run figure10``);
+* the historical positional ``run_workload(points, seed, issue_times,
+  rng)`` argument form (keyword-only since 1.5);
+* the pre-1.1 string-dispatch helpers :func:`build_index` /
+  :func:`page_index` (superseded by the AirIndex registry).
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import List, Optional, Tuple
+
+
+def translate_legacy_cli(argv: List[str], targets) -> List[str]:
+    """Map the pre-subcommand CLI spelling onto ``run``, with a warning.
+
+    *targets* are the accepted legacy positionals (figure names plus
+    ``all``/``ablations``); anything else passes through untouched.
+    """
+    if argv and argv[0] in targets:
+        warnings.warn(
+            f"'python -m repro {argv[0]}' is deprecated; use "
+            f"'python -m repro run {argv[0]}'",
+            DeprecationWarning,
+            stacklevel=4,
+        )
+        return ["run"] + argv
+    return argv
+
+
+def coerce_positional_run_workload(
+    args: Tuple, seed, issue_times, rng
+) -> Tuple:
+    """Resolve the deprecated positional ``run_workload`` arguments.
+
+    Returns the effective ``(seed, issue_times, rng)`` with positional
+    values taking precedence, exactly as the historical signature
+    ``run_workload(points, seed, issue_times, rng)`` bound them.
+    """
+    warnings.warn(
+        "positional seed/issue_times/rng arguments to "
+        "run_workload are deprecated; pass them as keywords "
+        "(run_workload(points, seed=..., issue_times=...))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    legacy = dict(zip(("seed", "issue_times", "rng"), args))
+    return (
+        legacy.get("seed", seed),
+        legacy.get("issue_times", issue_times),
+        legacy.get("rng", rng),
+    )
+
+
+def build_index(kind: str, subdivision, seed: int = 0):
+    """Deprecated: build the logical index structure of the given kind.
+
+    Use ``repro.engine.index_family(kind).build(subdivision, seed=seed)``
+    (or the index class's own :meth:`~repro.engine.AirIndex.build`)
+    instead.
+    """
+    from repro.engine import index_family
+
+    warnings.warn(
+        "experiments.runner.build_index is deprecated; use "
+        "repro.engine.INDEX_REGISTRY / index_family(kind).build(...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return index_family(kind).build(subdivision, seed=seed)
+
+
+def page_index(kind: str, index, params):
+    """Deprecated: page a logical index for the given packet capacity.
+
+    Use the index's own :meth:`~repro.engine.AirIndex.page` instead.  For
+    backward compatibility a raw subdivision is still accepted for
+    ``"rstar"`` (the old ``build_index`` contract) and built on the spot.
+    """
+    from repro.engine import index_family
+    from repro.tessellation.subdivision import Subdivision
+
+    warnings.warn(
+        "experiments.runner.page_index is deprecated; use "
+        "index.page(params) via the repro.engine.AirIndex protocol",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    family = index_family(kind)
+    if isinstance(index, Subdivision):
+        index = family.build(index)
+    return index.page(params)

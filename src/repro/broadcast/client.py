@@ -12,7 +12,6 @@
 from __future__ import annotations
 
 import random
-import warnings
 from typing import List, Optional, Sequence
 
 from repro.errors import BroadcastError
@@ -199,17 +198,11 @@ class BroadcastClient:
         works but is deprecated.
         """
         if args:
-            warnings.warn(
-                "positional seed/issue_times/rng arguments to "
-                "run_workload are deprecated; pass them as keywords "
-                "(run_workload(points, seed=..., issue_times=...))",
-                DeprecationWarning,
-                stacklevel=2,
+            from repro._deprecated import coerce_positional_run_workload
+
+            seed, issue_times, rng = coerce_positional_run_workload(
+                args, seed, issue_times, rng
             )
-            legacy = dict(zip(("seed", "issue_times", "rng"), args))
-            seed = legacy.get("seed", seed)
-            issue_times = legacy.get("issue_times", issue_times)
-            rng = legacy.get("rng", rng)
         return run_workload(
             self, points, issue_times=issue_times, seed=seed, rng=rng
         )

@@ -13,6 +13,8 @@ Subcommands::
     python -m repro broadcast --list-allocations
     python -m repro fleet --queries 1000000 --workers 8
     python -m repro fleet --mode simulate --error-rate 0.05 --workers 4
+    python -m repro mobility --clients 20000 --compare --workers 4
+    python -m repro mobility --workload boundary-hugging --error-rate 0.05
 
 The pre-1.5 single-positional form (``python -m repro figure10``) still
 works but emits a :class:`DeprecationWarning` and forwards to ``run``.
@@ -28,9 +30,9 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-import warnings
 from typing import List, Optional
 
+from repro._deprecated import translate_legacy_cli
 from repro.experiments.ablations import (
     ablation_early_termination,
     ablation_extended_styles,
@@ -202,6 +204,52 @@ def _cmd_fleet(args) -> int:
     return 0
 
 
+def _cmd_mobility(args) -> int:
+    """Run a fleet of moving clients with continuous queries and
+    scope-exit prediction (DESIGN.md §13)."""
+    from repro.fleet import run_fleet
+    from repro.mobility import render_mobility_report
+
+    def _run(predictive: bool):
+        return run_fleet(
+            args.clients,
+            index_kind=args.index,
+            regions=args.regions,
+            packet_capacity=args.capacity,
+            mode="mobility",
+            error_rate=args.error_rate,
+            error_model=args.error_model,
+            mean_burst=args.burst,
+            policy=args.policy,
+            cache_packets=args.cache,
+            seed=args.seed,
+            chunk_size=args.chunk_size,
+            workers=args.workers,
+            start_method=args.start_method,
+            keep_answers=not args.drop_answers,
+            mobility_workload=args.workload,
+            waypoints=args.waypoints,
+            speed_kmh=(args.speed_min, args.speed_max),
+            predictive=predictive,
+            epoch_slots=args.epoch_slots,
+            max_epochs=args.max_epochs,
+        )
+
+    report = _run(not args.naive)
+    print(render_mobility_report(report))
+    if args.compare and not args.naive:
+        naive = _run(False)
+        print()
+        print(render_mobility_report(naive))
+        ratio = naive.retunes_per_km / report.retunes_per_km
+        print(
+            f"\nprediction saves {ratio:.2f}x re-tunes/km "
+            f"({naive.retunes_per_km:.2f} naive vs "
+            f"{report.retunes_per_km:.2f} predictive)"
+        )
+    return 0
+
+
 def _cmd_run(args) -> int:
     """Regenerate figures (or the ablation suite)."""
     if args.target == "ablations":
@@ -246,15 +294,7 @@ def _cmd_run(args) -> int:
 
 def _translate_legacy(argv: List[str]) -> List[str]:
     """Map the pre-subcommand spelling onto ``run`` with a warning."""
-    if argv and argv[0] in _LEGACY_TARGETS:
-        warnings.warn(
-            f"'python -m repro {argv[0]}' is deprecated; use "
-            f"'python -m repro run {argv[0]}'",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        return ["run"] + argv
-    return argv
+    return translate_legacy_cli(argv, _LEGACY_TARGETS)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -453,6 +493,130 @@ def _build_parser() -> argparse.ArgumentParser:
         help="do not retain per-query answer arrays (lowest memory)",
     )
     fleet.set_defaults(func=_cmd_fleet)
+
+    mobility = sub.add_parser(
+        "mobility",
+        parents=[common],
+        help="run a fleet of moving clients with scope-exit prediction",
+    )
+    mobility.add_argument(
+        "--clients",
+        type=int,
+        default=10_000,
+        help="moving clients to simulate (streamed in chunks)",
+    )
+    mobility.add_argument(
+        "--workload",
+        default="random-waypoint",
+        choices=("random-waypoint", "boundary-hugging"),
+        help="trajectory model (boundary-hugging is the adversarial one)",
+    )
+    mobility.add_argument(
+        "--waypoints",
+        type=int,
+        default=3,
+        help="waypoints per trajectory",
+    )
+    mobility.add_argument(
+        "--speed-min",
+        type=float,
+        default=30.0,
+        help="minimum client speed, km/h",
+    )
+    mobility.add_argument(
+        "--speed-max",
+        type=float,
+        default=90.0,
+        help="maximum client speed, km/h",
+    )
+    mobility.add_argument(
+        "--epoch-slots",
+        type=float,
+        default=None,
+        help="continuous-query refresh period in packet slots "
+        "(default: a quarter broadcast cycle)",
+    )
+    mobility.add_argument(
+        "--max-epochs",
+        type=int,
+        default=32,
+        help="cap on epochs per client (0 = ride out the trajectory)",
+    )
+    mobility.add_argument(
+        "--naive",
+        action="store_true",
+        help="re-tune every epoch instead of predicting scope exits",
+    )
+    mobility.add_argument(
+        "--compare",
+        action="store_true",
+        help="also run the naive client and print the re-tunes/km ratio",
+    )
+    mobility.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; results are identical for every count",
+    )
+    mobility.add_argument(
+        "--chunk-size",
+        type=int,
+        default=50_000,
+        help="clients per chunk (memory bound per worker)",
+    )
+    mobility.add_argument(
+        "--start-method",
+        default=None,
+        choices=("fork", "spawn", "forkserver"),
+    )
+    mobility.add_argument(
+        "--index",
+        default="dtree",
+        help="one registered index kind (default dtree)",
+    )
+    mobility.add_argument("--regions", type=int, default=200)
+    mobility.add_argument(
+        "--capacity", type=int, default=256, help="packet capacity, bytes"
+    )
+    mobility.add_argument("--seed", type=int, default=7)
+    mobility.add_argument(
+        "--error-rate",
+        type=float,
+        default=0.0,
+        help="packet loss probability (missed re-tunes extend staleness)",
+    )
+    mobility.add_argument(
+        "--error-model",
+        default="bernoulli",
+        choices=("bernoulli", "gilbert"),
+    )
+    mobility.add_argument(
+        "--policy",
+        default="retry-next-segment",
+        choices=(
+            "retry-next-segment",
+            "retry-next-cycle",
+            "upper-bound-fallback",
+        ),
+    )
+    mobility.add_argument(
+        "--cache",
+        type=int,
+        default=0,
+        help="client LRU packet-cache capacity (0 = no cache)",
+    )
+    mobility.add_argument(
+        "--burst",
+        type=float,
+        default=4.0,
+        help="mean burst length for the gilbert model, packets",
+    )
+    mobility.add_argument(
+        "--drop-answers",
+        action="store_true",
+        help="do not retain per-client answer arrays (lowest memory)",
+    )
+    mobility.set_defaults(func=_cmd_mobility)
 
     broadcast = sub.add_parser(
         "broadcast",

@@ -45,4 +45,15 @@ __all__ = [
     "BatchResult",
     "QueryEngine",
     "evaluate_workload",
+    "evaluate_trajectory_workload",
 ]
+
+
+def __getattr__(name):
+    # Lazy re-export: the mobility evaluator builds on the engine, so a
+    # module-level import here would be circular.
+    if name == "evaluate_trajectory_workload":
+        from repro.mobility.evaluate import evaluate_trajectory_workload
+
+        return evaluate_trajectory_workload
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -12,6 +12,9 @@
 * **E10 — multi-channel broadcast**: K parallel channels vs the (1, m)
   baseline — access latency vs channel count per allocation strategy and
   index placement, at identical tuning time.
+* **E11 — mobility**: continuous location-dependent queries for moving
+  clients — the predictive scope-exit client vs the naive
+  re-tune-every-epoch baseline, per trajectory model.
 """
 
 from __future__ import annotations
@@ -279,4 +282,49 @@ def extension_multichannel(
                     "cycle_length": float(plan.cycle_length),
                     "m": float(plan.m),
                 }
+    return out
+
+
+def extension_mobility(
+    dataset: Optional[Dataset] = None,
+    packet_capacity: int = 256,
+    index_kind: str = "dtree",
+    workloads: Sequence[str] = ("random-waypoint", "boundary-hugging"),
+    clients: int = 200,
+    seed: int = 7,
+) -> Dict[str, Dict[str, object]]:
+    """E11: continuous queries for moving clients.
+
+    Runs the predictive scope-exit client and the naive
+    re-tune-every-epoch baseline over each trajectory model, reporting
+    both :meth:`~repro.mobility.report.MobilityReport.summary` rows plus
+    the re-tunes/km savings factor.  Both clients produce identical
+    per-epoch answers (prediction changes *when* we tune, never *what*
+    we answer), so the savings factor comes at zero answer error.
+    """
+    from repro.experiments.runner import run_mobility_cell
+
+    dataset = dataset or uniform_dataset(n=200, seed=42)
+    out: Dict[str, Dict[str, object]] = {}
+    for workload in workloads:
+        cells = {
+            label: run_mobility_cell(
+                dataset,
+                index_kind,
+                packet_capacity,
+                clients=clients,
+                seed=seed,
+                workload=workload,
+                predictive=predictive,
+            ).summary()
+            for label, predictive in (
+                ("predictive", True),
+                ("naive", False),
+            )
+        }
+        cells["savings_x"] = (
+            cells["naive"]["retunes_per_km"]
+            / cells["predictive"]["retunes_per_km"]
+        )
+        out[workload] = cells
     return out

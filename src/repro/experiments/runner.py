@@ -5,15 +5,16 @@ protocol and :data:`~repro.engine.INDEX_REGISTRY` — the runner has no
 per-kind special cases, so a fifth index family registered via
 :func:`repro.engine.register_index` is swept by every figure
 automatically.  The old string-dispatch helpers :func:`build_index` and
-:func:`page_index` remain as deprecated shims.
+:func:`page_index` remain importable here but live (with every other
+deprecated spelling) in :mod:`repro._deprecated`.
 """
 
 from __future__ import annotations
 
 import random
-import warnings
 from typing import Dict, List, Tuple
 
+from repro._deprecated import build_index, page_index  # noqa: F401
 from repro.broadcast.metrics import MetricsSummary, evaluate_index
 from repro.broadcast.packets import PagedIndex
 from repro.broadcast.params import SystemParameters
@@ -24,41 +25,6 @@ from repro.experiments.config import ExperimentConfig
 
 #: Canonical index order used by every figure (registry order).
 INDEX_KINDS = available_index_kinds()
-
-
-def build_index(kind: str, subdivision: Subdivision, seed: int = 0):
-    """Deprecated: build the logical index structure of the given kind.
-
-    Use ``repro.engine.index_family(kind).build(subdivision, seed=seed)``
-    (or the index class's own :meth:`~repro.engine.AirIndex.build`)
-    instead.
-    """
-    warnings.warn(
-        "experiments.runner.build_index is deprecated; use "
-        "repro.engine.INDEX_REGISTRY / index_family(kind).build(...)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return index_family(kind).build(subdivision, seed=seed)
-
-
-def page_index(kind: str, index, params: SystemParameters) -> PagedIndex:
-    """Deprecated: page a logical index for the given packet capacity.
-
-    Use the index's own :meth:`~repro.engine.AirIndex.page` instead.  For
-    backward compatibility a raw subdivision is still accepted for
-    ``"rstar"`` (the old ``build_index`` contract) and built on the spot.
-    """
-    warnings.warn(
-        "experiments.runner.page_index is deprecated; use "
-        "index.page(params) via the repro.engine.AirIndex protocol",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    family = index_family(kind)
-    if isinstance(index, Subdivision):
-        index = family.build(index)
-    return index.page(params)
 
 
 class CellResult:
@@ -214,6 +180,105 @@ def run_multichannel_cell(
         paged, subdivision.region_ids, params, points, seed=seed, plan=plan
     )
     return plan, result
+
+
+def run_mobility_cell(
+    dataset: Dataset,
+    index_kind: str,
+    packet_capacity: int,
+    clients: int,
+    seed: int,
+    *,
+    workload: str = "random-waypoint",
+    waypoints: int = 3,
+    speed_kmh: Tuple[float, float] = (30.0, 90.0),
+    predictive: bool = True,
+    epoch_slots=None,
+    max_epochs: int = 32,
+    error_rate: float = 0.0,
+    error_model: str = "bernoulli",
+    mean_burst: float = 4.0,
+    policy: str = "retry-next-segment",
+    cache_packets: int = 0,
+    logical_index=None,
+):
+    """Moving-client counterpart of :func:`run_cell`.
+
+    Generates *clients* trajectories (``workload`` is
+    ``"random-waypoint"`` or ``"boundary-hugging"``, speeds uniform over
+    the ``speed_kmh`` range), evaluates them with predictive or naive
+    continuous-query clients, and returns the folded
+    :class:`~repro.mobility.report.MobilityReport`.
+    """
+    from repro.broadcast.schedule import BroadcastSchedule
+    from repro.mobility import (
+        BoundaryHuggingWorkload,
+        MobilityReport,
+        RandomWaypointWorkload,
+        RegionBoundaryIndex,
+        evaluate_trajectory_workload,
+        units_per_slot,
+    )
+
+    subdivision = dataset.subdivision
+    family = index_family(index_kind)
+    params = family.parameters(packet_capacity)
+    if logical_index is None:
+        logical_index = family.build(subdivision, seed=seed)
+    paged = logical_index.page(params)
+    schedule = BroadcastSchedule(
+        index_packet_count=len(paged.packets),
+        region_ids=list(subdivision.region_ids),
+        params=params,
+    )
+    speed_range = tuple(
+        units_per_slot(s, packet_capacity) for s in speed_kmh
+    )
+    if workload == "random-waypoint":
+        gen = RandomWaypointWorkload(
+            subdivision.service_area,
+            schedule.cycle_length,
+            waypoints=waypoints,
+            speed_range=speed_range,
+            seed=seed,
+        )
+    elif workload == "boundary-hugging":
+        gen = BoundaryHuggingWorkload(
+            subdivision,
+            schedule.cycle_length,
+            waypoints=waypoints,
+            speed_range=speed_range,
+            seed=seed,
+        )
+    else:
+        raise ValueError(f"unknown mobility workload {workload!r}")
+
+    batch = evaluate_trajectory_workload(
+        paged,
+        list(subdivision.region_ids),
+        params,
+        gen.chunk(0, clients),
+        boundary_index=RegionBoundaryIndex(subdivision) if predictive else None,
+        predictive=predictive,
+        epoch_slots=epoch_slots,
+        max_epochs=max_epochs,
+        cache_packets=cache_packets,
+        error_rate=error_rate,
+        error_model=error_model,
+        mean_burst=mean_burst,
+        policy=policy,
+        seed=seed,
+        schedule=schedule,
+    )
+    report = MobilityReport(
+        index_kind=index_kind,
+        client="predictive" if predictive else "naive",
+        error_model=f"{error_model}({error_rate:g})"
+        if error_rate > 0
+        else "perfect",
+    )
+    report.observe_chunk(0, batch)
+    return report
 
 
 class ExperimentMatrix:

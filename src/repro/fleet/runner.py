@@ -8,10 +8,12 @@ more than one chunk of per-query state:
   (:class:`~repro.fleet.workload.UniformFleetWorkload` — chunk-size
   invariant by construction), never materialized whole;
 * each chunk runs through the batched
-  :class:`~repro.engine.QueryEngine` (error-free ``"engine"`` mode) or
-  the lossy :class:`~repro.simulation.ChannelSimulator` (``"simulate"``
-  mode) and is immediately folded into a streaming
-  :class:`~repro.fleet.report.FleetReport`;
+  :class:`~repro.engine.QueryEngine` (error-free ``"engine"`` mode), the
+  lossy :class:`~repro.simulation.ChannelSimulator` (``"simulate"``
+  mode) or the continuous-query mobility evaluator (``"mobility"``
+  mode — chunks of trajectories folded into a
+  :class:`~repro.mobility.report.MobilityReport`) and is immediately
+  folded into the mode's streaming report;
 * with ``workers > 1`` chunks fan out over a ``multiprocessing`` pool
   whose workers attach the parent's compiled index/schedule arrays
   zero-copy from a :class:`~repro.fleet.shm.ShmArena`.
@@ -56,7 +58,15 @@ DEFAULT_CHUNK_SIZE = 50_000
 
 
 class FleetSpec:
-    """Everything a worker needs to evaluate chunks, picklable whole."""
+    """Everything a worker needs to evaluate chunks, picklable whole.
+
+    ``mode="mobility"`` interprets the workload as *trajectories* (its
+    ``chunk`` returns :class:`~repro.mobility.trajectory.Trajectory`
+    objects) and folds chunks into a
+    :class:`~repro.mobility.report.MobilityReport`; the mobility-only
+    fields (``boundary_index``, ``epoch_slots``, ``max_epochs``,
+    ``predictive``, ``km_per_unit``) are ignored by the other modes.
+    """
 
     __slots__ = (
         "paged_index",
@@ -73,6 +83,11 @@ class FleetSpec:
         "energy_model",
         "alpha",
         "keep_answers",
+        "boundary_index",
+        "epoch_slots",
+        "max_epochs",
+        "predictive",
+        "km_per_unit",
     )
 
     def __init__(
@@ -91,9 +106,19 @@ class FleetSpec:
         energy_model: Optional[EnergyModel] = None,
         alpha: float = 0.01,
         keep_answers: bool = True,
+        boundary_index=None,
+        epoch_slots: Optional[float] = None,
+        max_epochs: int = 32,
+        predictive: bool = True,
+        km_per_unit: float = 10.0,
     ) -> None:
-        if mode not in ("engine", "simulate"):
+        if mode not in ("engine", "simulate", "mobility"):
             raise ReproError(f"unknown fleet mode {mode!r}")
+        if mode == "mobility" and predictive and boundary_index is None:
+            raise ReproError(
+                "mobility mode with predictive clients needs a "
+                "boundary_index (RegionBoundaryIndex of the subdivision)"
+            )
         self.paged_index = paged_index
         self.schedule = schedule
         self.params = params
@@ -108,6 +133,21 @@ class FleetSpec:
         self.energy_model = energy_model or EnergyModel()
         self.alpha = alpha
         self.keep_answers = keep_answers
+        self.boundary_index = boundary_index
+        self.epoch_slots = epoch_slots
+        self.max_epochs = max_epochs
+        self.predictive = predictive
+        self.km_per_unit = km_per_unit
+
+    def empty_report(self):
+        """The identity report chunk results fold into (mode-typed)."""
+        if self.mode == "mobility":
+            # Imported lazily: repro.mobility builds on repro.fleet, so a
+            # module-level import here would be circular.
+            from repro.mobility.report import MobilityReport
+
+            return MobilityReport(alpha=self.alpha)
+        return FleetReport(alpha=self.alpha)
 
     def __getstate__(self) -> dict:
         return {slot: getattr(self, slot) for slot in self.__slots__}
@@ -129,7 +169,12 @@ class _WorkerState:
         self.spec = spec
         self.arena = arena  # held so the mapping outlives the views
         views = arena.views() if arena is not None else {}
-        if spec.mode == "engine":
+        if spec.mode == "mobility":
+            # Per-trajectory client stacks are built per chunk (each
+            # client owns its cache/session); no compiled-engine state.
+            self.engine = None
+            self.simulator = None
+        elif spec.mode == "engine":
             self.engine = QueryEngine(spec.paged_index, spec.schedule)
             self.simulator = None
             if views:
@@ -168,11 +213,67 @@ class _WorkerState:
             "error_model": repr(client.error_model),
         }
 
+    def _evaluate_mobility(
+        self, chunk_index: int, start: int, size: int, channel_seed: int
+    ):
+        """Evaluate one trajectory chunk into a
+        :class:`~repro.mobility.report.MobilityReport`."""
+        from repro.mobility.evaluate import evaluate_trajectory_workload
+        from repro.mobility.report import MobilityReport
+        from repro.simulation.faults import PerfectChannel
+
+        spec = self.spec
+        channel_label = (
+            repr(
+                make_error_model(
+                    spec.error_model_name, spec.error_rate, spec.mean_burst
+                )
+            )
+            if spec.error_rate > 0.0
+            else repr(PerfectChannel())
+        )
+        report = MobilityReport(
+            index_kind=spec.index_kind,
+            client="predictive" if spec.predictive else "naive",
+            error_model=channel_label,
+            alpha=spec.alpha,
+        )
+        if size == 0:
+            return report
+        trajectories = spec.workload.chunk(start, size)
+        batch = evaluate_trajectory_workload(
+            spec.paged_index,
+            [],
+            spec.params,
+            trajectories,
+            boundary_index=spec.boundary_index,
+            predictive=spec.predictive,
+            epoch_slots=spec.epoch_slots,
+            max_epochs=spec.max_epochs,
+            cache_packets=spec.cache_packets,
+            error_rate=spec.error_rate,
+            error_model=spec.error_model_name,
+            mean_burst=spec.mean_burst,
+            policy=spec.policy,
+            energy_model=spec.energy_model,
+            seed=channel_seed,
+            schedule=spec.schedule,
+            km_per_unit=spec.km_per_unit,
+        )
+        report.observe_chunk(
+            chunk_index, batch, keep_answers=spec.keep_answers
+        )
+        return report
+
     def evaluate(
         self, chunk_index: int, start: int, size: int, channel_seed: int
     ) -> FleetReport:
         """Evaluate one chunk into a single-chunk fleet report."""
         spec = self.spec
+        if spec.mode == "mobility":
+            return self._evaluate_mobility(
+                chunk_index, start, size, channel_seed
+            )
         report = FleetReport(alpha=spec.alpha, **self.labels())
         if size == 0:
             return report
@@ -292,7 +393,7 @@ class FleetRunner:
         # Fold in chunk order — the fixed fold order is what makes the
         # compensated sums (and therefore every reported number)
         # independent of the worker count.
-        report = FleetReport(alpha=self.spec.alpha)
+        report = self.spec.empty_report()
         for _, chunk_report, chunk_col in sorted(outcomes, key=lambda o: o[0]):
             report.merge(chunk_report)
             if chunk_col is not None and col is not None:
@@ -332,11 +433,16 @@ class FleetRunner:
 
         spec = self.spec
         # Compile once in the parent; workers reattach the arrays.
+        # Mobility chunks walk the paged index's scalar structures per
+        # re-tune, so there is no compiled state worth sharing.
         if spec.mode == "engine":
             parent_engine = QueryEngine(spec.paged_index, spec.schedule)
         else:
             parent_engine = None
-        arrays, meta = export_compiled_state(spec.paged_index, parent_engine)
+        if spec.mode == "mobility":
+            arrays, meta = {}, None
+        else:
+            arrays, meta = export_compiled_state(spec.paged_index, parent_engine)
         arena = ShmArena.create(arrays) if arrays else None
         spec_bytes = pickle.dumps(spec)
         ctx = mp.get_context(self.start_method)
@@ -378,13 +484,28 @@ def run_fleet(
     keep_answers: bool = True,
     alpha: float = 0.01,
     dataset=None,
-) -> FleetReport:
+    mobility_workload: str = "random-waypoint",
+    waypoints: int = 3,
+    speed_kmh: Tuple[float, float] = (30.0, 90.0),
+    hug_offset: float = 0.01,
+    predictive: bool = True,
+    epoch_slots: Optional[float] = None,
+    max_epochs: int = 32,
+    km_per_unit: Optional[float] = None,
+):
     """Build a standard fleet scenario and run it end to end.
 
     Constructs a uniform dataset (or uses *dataset*), builds and pages
     the requested index family, derives the flat (1, m) schedule and a
-    :class:`UniformFleetWorkload` over the service area, then runs
+    chunked workload over the service area, then runs
     :class:`FleetRunner` with the given chunking and worker count.
+
+    ``mode="mobility"`` runs *total_queries* moving clients instead of
+    point queries: a trajectory workload (``mobility_workload`` is
+    ``"random-waypoint"`` or ``"boundary-hugging"``, speeds drawn
+    uniformly from the ``speed_kmh`` range) evaluated by predictive or
+    naive continuous-query clients into a
+    :class:`~repro.mobility.report.MobilityReport`.
     """
     from repro.datasets.catalog import SERVICE_AREA, uniform_dataset
 
@@ -400,9 +521,49 @@ def run_fleet(
         params=params,
         m=m,
     )
-    workload = UniformFleetWorkload(
-        SERVICE_AREA, schedule.cycle_length, seed=seed
-    )
+    boundary_index = None
+    if mode == "mobility":
+        from repro.mobility import (
+            BoundaryHuggingWorkload,
+            RandomWaypointWorkload,
+            RegionBoundaryIndex,
+            units_per_slot,
+        )
+        from repro.mobility.units import DEFAULT_KM_PER_UNIT
+
+        if km_per_unit is None:
+            km_per_unit = DEFAULT_KM_PER_UNIT
+        speed_range = tuple(
+            units_per_slot(s, packet_capacity, km_per_unit)
+            for s in speed_kmh
+        )
+        if mobility_workload == "random-waypoint":
+            workload = RandomWaypointWorkload(
+                SERVICE_AREA,
+                schedule.cycle_length,
+                waypoints=waypoints,
+                speed_range=speed_range,
+                seed=seed,
+            )
+        elif mobility_workload == "boundary-hugging":
+            workload = BoundaryHuggingWorkload(
+                subdivision,
+                schedule.cycle_length,
+                waypoints=waypoints,
+                speed_range=speed_range,
+                offset=hug_offset,
+                seed=seed,
+            )
+        else:
+            raise ReproError(
+                f"unknown mobility workload {mobility_workload!r}"
+            )
+        if predictive:
+            boundary_index = RegionBoundaryIndex(subdivision)
+    else:
+        workload = UniformFleetWorkload(
+            SERVICE_AREA, schedule.cycle_length, seed=seed
+        )
     spec = FleetSpec(
         paged_index=paged,
         schedule=schedule,
@@ -417,6 +578,11 @@ def run_fleet(
         cache_packets=cache_packets,
         alpha=alpha,
         keep_answers=keep_answers,
+        boundary_index=boundary_index,
+        epoch_slots=epoch_slots,
+        max_epochs=max_epochs,
+        predictive=predictive,
+        km_per_unit=km_per_unit if km_per_unit is not None else 10.0,
     )
     runner = FleetRunner(
         spec,

@@ -49,6 +49,7 @@ __all__ = [
     "on_segment_batch",
     "rect_contains_batch",
     "mbrs_contain_batch",
+    "point_segment_distance_batch",
     "points_in_polygon",
     "CompiledPolygon",
     "CompiledPartition",
@@ -122,6 +123,28 @@ def mbrs_contain_batch(
         & (min_y[:, None] <= ys)
         & (ys <= max_y[:, None])
     )
+
+
+def point_segment_distance_batch(px, py, ax, ay, bx, by) -> np.ndarray:
+    """Vectorized :meth:`Segment.distance_to_point`, broadcasting its
+    arguments.
+
+    Replicates the scalar clamp-to-segment projection: degenerate
+    segments (``|b - a|^2 <= EPS^2``) collapse to the distance to ``a``
+    (``t = 0``), all others clamp the projection parameter to ``[0, 1]``.
+    Distances come from ``np.hypot``, which may differ from the scalar
+    ``math.hypot`` by one ulp — callers needing a *sound* lower bound
+    (the mobility exit-bound) should shave an ulp, not assume equality.
+    """
+    dx = np.asarray(bx, np.float64) - ax
+    dy = np.asarray(by, np.float64) - ay
+    length2 = dx * dx + dy * dy
+    safe = np.where(length2 > EPS * EPS, length2, 1.0)
+    t = ((px - ax) * dx + (py - ay) * dy) / safe
+    t = np.where(length2 > EPS * EPS, np.clip(t, 0.0, 1.0), 0.0)
+    cx = ax + t * dx
+    cy = ay + t * dy
+    return np.hypot(px - cx, py - cy)
 
 
 class CompiledPolygon:

@@ -1,0 +1,197 @@
+"""Continuous window and nearest-region queries for moving clients.
+
+Both variants follow the mobility client's shape — answer once, derive a
+*sound safe radius*, skip re-evaluation while the trajectory provably
+stays inside the disk — but their answers are sets/sites rather than a
+single scope, so each needs its own bound:
+
+* **continuous window** (a fixed-size window centred on the client,
+  answered through the D-tree's window query): the result set is stable
+  under any window translation smaller than
+
+  - the *separation* of every non-member region from the window (a
+    non-member cannot start intersecting before the window has moved at
+    least its distance to the region), and
+  - a *penetration* lower bound for every member (a witness point in
+    ``member ∩ window`` stays inside the translated window while the
+    translation is smaller than the point's depth from the window
+    boundary; members without a cheap witness contribute 0, collapsing
+    the radius — conservative, never wrong);
+
+* **nearest region** (the Voronoi-flavoured variant: which site is
+  closest?): the classic ``(d2 - d1) / 2`` bound — moving less than
+  half the gap between the two nearest sites cannot change the argmin.
+
+:func:`run_continuous_query` drives either query along a trajectory's
+epoch grid, with the same skip-until-exit loop as the scope client
+(``predictive=False`` is the re-evaluate-every-epoch oracle the tests
+compare against).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.geometry.kernels import point_coords, point_segment_distance_batch
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.mobility.trajectory import Trajectory
+
+
+def _rect_polygon_separation(rect: Rect, polygon) -> float:
+    """Distance between a rectangle and a disjoint simple polygon.
+
+    For non-intersecting shapes the minimum is attained at a vertex of
+    one against an edge of the other, so two batched point-to-segment
+    sweeps cover it.
+    """
+    corners_x = np.array([rect.min_x, rect.max_x, rect.max_x, rect.min_x])
+    corners_y = np.array([rect.min_y, rect.min_y, rect.max_y, rect.max_y])
+    compiled = polygon.compiled()
+    # Window corners vs polygon edges.
+    d1 = point_segment_distance_batch(
+        corners_x[:, None],
+        corners_y[:, None],
+        compiled.ax[None, :],
+        compiled.ay[None, :],
+        compiled.bx[None, :],
+        compiled.by[None, :],
+    ).min()
+    # Polygon vertices vs window edges.
+    vx, vy = point_coords(polygon.vertices)
+    d2 = point_segment_distance_batch(
+        vx[:, None],
+        vy[:, None],
+        np.roll(corners_x, 1)[None, :],
+        np.roll(corners_y, 1)[None, :],
+        corners_x[None, :],
+        corners_y[None, :],
+    ).min()
+    return float(min(d1, d2))
+
+
+def _depth_in_rect(rect: Rect, x: float, y: float) -> float:
+    """Distance from an interior point to the rectangle boundary."""
+    return min(x - rect.min_x, rect.max_x - x, y - rect.min_y, rect.max_y - y)
+
+
+class ContinuousWindowQuery:
+    """A fixed-size window glued to the client, answered via an index's
+    window query (e.g. :meth:`repro.core.dtree.DTree.window_query`)."""
+
+    def __init__(
+        self,
+        subdivision,
+        width: float,
+        height: float,
+        window_query: Callable[[Rect], List[int]],
+    ) -> None:
+        if width <= 0 or height <= 0:
+            raise ReproError(
+                f"window must have positive extent, got {width} x {height}"
+            )
+        self.subdivision = subdivision
+        self.width = float(width)
+        self.height = float(height)
+        self.window_query = window_query
+
+    def window_at(self, x: float, y: float) -> Rect:
+        return Rect(
+            x - self.width / 2.0,
+            y - self.height / 2.0,
+            x + self.width / 2.0,
+            y + self.height / 2.0,
+        )
+
+    def answer_at(self, x: float, y: float) -> Tuple[Tuple[int, ...], float]:
+        """``(sorted member region ids, sound safe radius)``."""
+        window = self.window_at(x, y)
+        members = tuple(sorted(self.window_query(window)))
+        member_set = set(members)
+        radius = np.inf
+        for region in self.subdivision.regions:
+            polygon = region.polygon
+            if region.region_id in member_set:
+                best = 0.0
+                for v in polygon.vertices:
+                    if window.contains_point(v):
+                        best = max(best, _depth_in_rect(window, v.x, v.y))
+                if polygon.contains_point(Point(x, y)):
+                    best = max(best, _depth_in_rect(window, x, y))
+                radius = min(radius, best)
+            else:
+                radius = min(
+                    radius, _rect_polygon_separation(window, polygon)
+                )
+            if radius <= 0.0:
+                return members, 0.0
+        return members, float(radius)
+
+
+class NearestRegionQuery:
+    """Which site is nearest?  The continuous Voronoi-cell query."""
+
+    def __init__(self, sites: Sequence[Point]) -> None:
+        if len(sites) < 1:
+            raise ReproError("nearest-region query needs at least one site")
+        self._xs, self._ys = point_coords(sites)
+
+    @classmethod
+    def from_centroids(cls, subdivision) -> "NearestRegionQuery":
+        """Sites = region centroids (answer indexes the region order)."""
+        return cls(
+            [region.polygon.centroid for region in subdivision.regions]
+        )
+
+    def answer_at(self, x: float, y: float) -> Tuple[int, float]:
+        """``(nearest site index, sound safe radius)``.
+
+        The argmin takes the first minimum, matching the
+        :func:`repro.tessellation.voronoi.nearest_site` oracle's strict
+        ``<`` tie-break; ties yield radius 0 (no safe motion).
+        """
+        d = np.hypot(self._xs - x, self._ys - y)
+        nearest = int(np.argmin(d))
+        if d.size == 1:
+            return nearest, np.inf
+        d1 = d[nearest]
+        d2 = np.min(np.delete(d, nearest))
+        return nearest, max(0.0, float((d2 - d1) / 2.0))
+
+
+def run_continuous_query(
+    trajectory: Trajectory,
+    query,
+    epoch_slots: float,
+    predictive: bool = True,
+    max_epochs: int = 0,
+) -> Tuple[List, int]:
+    """Drive *query* (anything with ``answer_at(x, y) -> (answer,
+    radius)``) along the trajectory's epoch grid.
+
+    Returns ``(per-epoch answers, evaluation count)``; the predictive
+    path skips epochs provably inside the safe disk, the naive path
+    (``predictive=False``) re-evaluates every epoch — both produce the
+    same answer sequence.
+    """
+    times = trajectory.epoch_times(epoch_slots, max_epochs)
+    xs, ys = trajectory.positions_at(times)
+    n = times.size
+    answers: List = [None] * n
+    evaluations = 0
+    e = 0
+    while e < n:
+        answer, radius = query.answer_at(float(xs[e]), float(ys[e]))
+        evaluations += 1
+        nxt = e + 1
+        if predictive and radius > 0.0 and e + 1 < n:
+            disp = np.hypot(xs[e + 1 :] - xs[e], ys[e + 1 :] - ys[e])
+            outside = disp >= radius
+            nxt = e + 1 + int(np.argmax(outside)) if outside.any() else n
+        for f in range(e, nxt):
+            answers[f] = answer
+        e = nxt
+    return answers, evaluations

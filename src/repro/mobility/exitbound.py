@@ -1,0 +1,79 @@
+"""Sound scope-exit bounds: how far can a client move and provably
+keep its answer?
+
+For a client at ``p`` whose answered region is the simple polygon ``R``
+with ``p`` strictly interior, let ``d = dist(p, boundary(R))`` over
+``R``'s edge set.  Every point of the open disk ``B(p, d)`` is interior
+to ``R`` (any path leaving ``R`` must cross the boundary, which the disk
+provably does not reach), so as long as the trajectory stays inside the
+disk the answer — for an index that agrees with the subdivision's
+point-location oracle, which all four families do — cannot change.  The
+bound is *exact* for any simple polygon cell, convex or not: the
+polygon boundary is precisely its edge set.
+
+Two conservative guards keep the bound sound in floating point:
+
+* if ``p`` is not *strictly* interior to the answered polygon (boundary
+  hits within ``EPS``, or an index answer that disagrees with geometry),
+  the bound collapses to 0 and the client degenerates to the naive
+  per-epoch re-tuner for that step;
+* the kernel distance is shaved by one ulp, absorbing the possible
+  one-ulp disagreement between ``np.hypot`` and the scalar
+  ``math.hypot``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.geometry.kernels import point_coords, point_segment_distance_batch
+from repro.geometry.point import Point
+
+
+class RegionBoundaryIndex:
+    """Per-region flattened boundary-edge arrays for exit bounds.
+
+    Built once per subdivision and shipped to fleet workers inside the
+    :class:`~repro.fleet.runner.FleetSpec` (plain arrays + polygons,
+    picklable whole).
+    """
+
+    __slots__ = ("_regions",)
+
+    def __init__(self, subdivision) -> None:
+        self._regions: Dict[int, Tuple] = {}
+        for region in subdivision.regions:
+            polygon = region.polygon
+            ax, ay = point_coords(polygon.vertices)
+            self._regions[region.region_id] = (
+                polygon,
+                ax,
+                ay,
+                np.roll(ax, -1),
+                np.roll(ay, -1),
+            )
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def exit_bound(self, region_id: int, x: float, y: float) -> float:
+        """Sound skip radius around ``(x, y)`` for answer *region_id*.
+
+        0 means "no skip" — unknown region, or the position is not
+        strictly interior to the answered polygon.
+        """
+        entry = self._regions.get(region_id)
+        if entry is None:
+            return 0.0
+        polygon, ax, ay, bx, by = entry
+        if not polygon.contains_point(Point(x, y), include_boundary=False):
+            return 0.0
+        d = float(np.min(point_segment_distance_batch(x, y, ax, ay, bx, by)))
+        # One ulp of slack: np.hypot and math.hypot may disagree in the
+        # last bit, and the bound must never exceed the true distance.
+        return max(0.0, float(np.nextafter(d, 0.0)))
+
+    def __repr__(self) -> str:
+        return f"RegionBoundaryIndex(regions={len(self._regions)})"

@@ -1,0 +1,272 @@
+"""Streaming, mergeable mobility reports.
+
+The mobility analogue of :class:`repro.fleet.report.FleetReport`: each
+evaluated chunk of trajectories folds into per-metric
+:class:`~repro.fleet.report.MetricAggregate` streams (Neumaier sums,
+exact min/max, mergeable quantile sketch) plus integer counters, so a
+100k-client fleet ships kilobytes per chunk regardless of chunk size.
+Merging follows the fleet's algebra — associative, empty identity,
+chunk-ordered folds reproduce the single-worker accumulation exactly —
+which is what makes the report worker-count invariant.
+
+The headline metric is **re-tunes per km**: total re-tunes divided by
+total distance travelled, the continuous-query cost measure motivated by
+the moving-objects literature (PAPERS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.fleet.report import MetricAggregate
+from repro.simulation.report import PERCENTILES
+
+#: The per-client metrics every mobility report aggregates.
+MOBILITY_METRIC_FIELDS = (
+    "retunes",
+    "crossings",
+    "stale_slots",
+    "energy_joules",
+    "distance_km",
+    "retunes_per_km",
+)
+
+
+class MobilityReport:
+    """Aggregated outcome of a mobility fleet run."""
+
+    __slots__ = (
+        "index_kind",
+        "client",
+        "error_model",
+        "clients",
+        "epochs",
+        "skips",
+        "losses",
+        "attempts",
+        "metrics",
+        "answers",
+        "chunk_count",
+        "elapsed_seconds",
+    )
+
+    #: Label value shared with FleetReport's ``mode`` slot semantics.
+    mode = "mobility"
+
+    def __init__(
+        self,
+        index_kind: str = "?",
+        client: str = "?",
+        error_model: str = "?",
+        alpha: float = 0.01,
+    ) -> None:
+        self.index_kind = index_kind
+        #: ``"predictive"`` (scope-exit skipping) or ``"naive"``.
+        self.client = client
+        self.error_model = error_model
+        self.clients = 0
+        self.epochs = 0
+        self.skips = 0
+        self.losses = 0
+        self.attempts = 0
+        self.metrics: Dict[str, MetricAggregate] = {
+            name: MetricAggregate(alpha=alpha)
+            for name in MOBILITY_METRIC_FIELDS
+        }
+        #: chunk index -> final-epoch answer per client (parity artifact).
+        self.answers: Dict[int, np.ndarray] = {}
+        self.chunk_count = 0
+        self.elapsed_seconds: Optional[float] = None
+
+    # -- recording ------------------------------------------------------------
+
+    def observe_chunk(
+        self, chunk_index: int, batch, keep_answers: bool = True
+    ) -> None:
+        """Fold one evaluated trajectory chunk (a
+        :class:`~repro.mobility.evaluate.MobilityBatchResult`) in."""
+        if chunk_index in self.answers:
+            raise ReproError(f"chunk {chunk_index} folded twice")
+        self.clients += int(batch.retunes.size)
+        self.epochs += int(np.sum(batch.epochs))
+        self.skips += int(np.sum(batch.skips))
+        self.losses += int(np.sum(batch.losses))
+        self.attempts += int(np.sum(batch.attempts))
+        self.metrics["retunes"].observe_chunk(batch.retunes)
+        self.metrics["crossings"].observe_chunk(batch.crossings)
+        self.metrics["stale_slots"].observe_chunk(batch.stale_slots)
+        self.metrics["energy_joules"].observe_chunk(batch.energy_joules)
+        self.metrics["distance_km"].observe_chunk(batch.distance_km)
+        moved = batch.distance_km > 0.0
+        self.metrics["retunes_per_km"].observe_chunk(
+            batch.retunes[moved] / batch.distance_km[moved]
+        )
+        if keep_answers:
+            self.answers[chunk_index] = np.asarray(
+                batch.final_answers, np.int64
+            )
+        self.chunk_count += 1
+
+    # -- merging --------------------------------------------------------------
+
+    def _reconcile_label(self, name: str, other: "MobilityReport") -> str:
+        mine = getattr(self, name)
+        theirs = getattr(other, name)
+        if mine == theirs:
+            return mine
+        if self.clients == 0:
+            return theirs
+        if other.clients == 0:
+            return mine
+        raise ReproError(
+            f"cannot merge mobility reports with different {name}: "
+            f"{mine!r} vs {theirs!r}"
+        )
+
+    def merge(self, other: "MobilityReport") -> "MobilityReport":
+        """Fold *other* in (in place, associative, empty identity)."""
+        if not isinstance(other, MobilityReport):
+            raise ReproError(
+                f"cannot merge MobilityReport with {type(other).__name__}"
+            )
+        labels = {
+            name: self._reconcile_label(name, other)
+            for name in ("index_kind", "client", "error_model")
+        }
+        overlap = self.answers.keys() & other.answers.keys()
+        if overlap:
+            raise ReproError(
+                f"mobility reports overlap on chunks {sorted(overlap)}"
+            )
+        for name, value in labels.items():
+            setattr(self, name, value)
+        self.clients += other.clients
+        self.epochs += other.epochs
+        self.skips += other.skips
+        self.losses += other.losses
+        self.attempts += other.attempts
+        for name in MOBILITY_METRIC_FIELDS:
+            self.metrics[name].merge(other.metrics[name])
+        self.answers.update(other.answers)
+        self.chunk_count += other.chunk_count
+        return self
+
+    # -- reductions ------------------------------------------------------------
+
+    def merged_answers(self) -> np.ndarray:
+        """Final-epoch answers concatenated in chunk order."""
+        if not self.answers:
+            return np.zeros(0, np.int64)
+        return np.concatenate([self.answers[i] for i in sorted(self.answers)])
+
+    @property
+    def retunes(self) -> int:
+        return int(round(self.metrics["retunes"].total))
+
+    @property
+    def crossings(self) -> int:
+        return int(round(self.metrics["crossings"].total))
+
+    @property
+    def distance_km(self) -> float:
+        return self.metrics["distance_km"].total
+
+    @property
+    def retunes_per_km(self) -> float:
+        """The headline: total re-tunes over total distance."""
+        km = self.distance_km
+        return self.metrics["retunes"].total / km if km > 0 else float("nan")
+
+    @property
+    def skip_ratio(self) -> float:
+        return self.skips / self.epochs if self.epochs else float("nan")
+
+    def percentiles(self, metric: str) -> Dict[str, float]:
+        agg = self.metrics[metric]
+        return {f"p{q}": agg.percentile(q) for q in PERCENTILES}
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary row (floats only, like the fleet summary)."""
+        out: Dict[str, float] = {
+            "clients": float(self.clients),
+            "epochs": float(self.epochs),
+            "retunes": self.metrics["retunes"].total,
+            "skips": float(self.skips),
+            "skip_ratio": self.skip_ratio,
+            "crossings": self.metrics["crossings"].total,
+            "losses": float(self.losses),
+            "distance_km": self.distance_km,
+            "retunes_per_km": self.retunes_per_km,
+            "stale_slots": self.metrics["stale_slots"].total,
+            "energy_j": self.metrics["energy_joules"].total,
+        }
+        for metric, label in (
+            ("retunes_per_km", "retunes_per_km"),
+            ("stale_slots", "stale_slots"),
+            ("energy_joules", "energy_j"),
+        ):
+            agg = self.metrics[metric]
+            out[f"{label}_mean"] = agg.mean
+            for key, value in self.percentiles(metric).items():
+                out[f"{label}_{key}"] = value
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "index_kind": self.index_kind,
+            "client": self.client,
+            "error_model": self.error_model,
+            "clients": self.clients,
+            "epochs": self.epochs,
+            "skips": self.skips,
+            "losses": self.losses,
+            "chunks": self.chunk_count,
+            "elapsed_seconds": self.elapsed_seconds,
+            "metrics": {
+                name: agg.to_dict() for name, agg in self.metrics.items()
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MobilityReport({self.index_kind}, client={self.client}, "
+            f"clients={self.clients}, epochs={self.epochs}, "
+            f"chunks={self.chunk_count})"
+        )
+
+
+def render_mobility_report(report: MobilityReport) -> str:
+    """Human-readable block for the CLI."""
+    lines: List[str] = [
+        f"mobility: {report.clients} clients, {report.epochs} epochs "
+        f"over {report.chunk_count} chunks "
+        f"(index={report.index_kind}, client={report.client})",
+        f"  channel: {report.error_model}, losses={report.losses}",
+    ]
+    if report.elapsed_seconds:
+        rate = report.epochs / report.elapsed_seconds
+        lines.append(
+            f"  elapsed: {report.elapsed_seconds:.2f}s ({rate:,.0f} epochs/s)"
+        )
+    lines.append(
+        f"  retunes: {report.retunes} "
+        f"({report.retunes_per_km:.2f}/km over {report.distance_km:.1f} km, "
+        f"skip ratio {report.skip_ratio:.1%})"
+    )
+    lines.append(f"  crossings: {report.crossings}")
+    for metric, label, scale, unit in (
+        ("stale_slots", "stale", 1.0, "slots/client"),
+        ("energy_joules", "energy", 1000.0, "mJ/client"),
+    ):
+        agg = report.metrics[metric]
+        p = report.percentiles(metric)
+        lines.append(
+            f"  {label:<8} mean={agg.mean * scale:.2f} "
+            f"p50={p['p50'] * scale:.2f} p95={p['p95'] * scale:.2f} "
+            f"p99={p['p99'] * scale:.2f} {unit}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Physical units for the mobility layer.
+
+The paper's service area is the unit square; the broadcast timeline is
+measured in packet slots.  To speak about *re-tunes per km* and *km/h*
+we pin both scales:
+
+* ``DEFAULT_KM_PER_UNIT`` maps one service-area unit to kilometres
+  (10 km — a metropolitan service area of 10 km x 10 km);
+* one packet slot lasts :meth:`EnergyModel.packet_seconds` seconds
+  (capacity * 8 / bandwidth — 14.2 ms for 256-byte packets at the
+  paper's 144 kbps).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.simulation.energy import EnergyModel
+
+#: Kilometres per service-area unit (the unit square spans 10 km).
+DEFAULT_KM_PER_UNIT = 10.0
+
+
+def units_per_slot(
+    speed_kmh: float,
+    packet_capacity: int,
+    km_per_unit: float = DEFAULT_KM_PER_UNIT,
+    energy_model: Optional[EnergyModel] = None,
+) -> float:
+    """Convert a road speed in km/h to service-area units per slot."""
+    if km_per_unit <= 0:
+        raise ReproError(f"km_per_unit must be > 0, got {km_per_unit}")
+    slot_s = (energy_model or EnergyModel()).packet_seconds(packet_capacity)
+    return speed_kmh / 3600.0 * slot_s / km_per_unit

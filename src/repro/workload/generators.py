@@ -20,6 +20,8 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import ReproError
 from repro.geometry.point import Point
 from repro.tessellation.subdivision import Subdivision
@@ -135,13 +137,35 @@ def zipf_region_workload(
     return QueryWorkload(f"zipf({theta:g})", points)
 
 
-def _point_in_polygon(polygon, rng: random.Random) -> Point:
-    """Uniform rejection sample inside a polygon."""
+def _point_in_polygon(polygon, rng) -> Point:
+    """Uniform rejection sample in a polygon's open interior.
+
+    Candidate testing goes through the compiled edge kernel
+    (:meth:`~repro.geometry.kernels.CompiledPolygon.classify_batch`),
+    whose ``interior`` flag matches ``contains_point(p,
+    include_boundary=False)`` exactly — so a ``random.Random`` caller
+    draws one ``(x, y)`` pair per attempt and its stream (hence every
+    seeded workload) is unchanged from the scalar-geometry
+    implementation.  A numpy ``Generator`` is rejected in genuine
+    batches instead.
+    """
     bb = polygon.bbox
+    compiled = polygon.compiled()
+    if isinstance(rng, np.random.Generator):
+        for _ in range(100):
+            xs = rng.uniform(bb.min_x, bb.max_x, 128)
+            ys = rng.uniform(bb.min_y, bb.max_y, 128)
+            interior, _ = compiled.classify_batch(xs, ys)
+            hits = np.flatnonzero(interior)
+            if hits.size:
+                return Point(float(xs[hits[0]]), float(ys[hits[0]]))
+        raise ReproError("rejection sampling inside a polygon failed")
     for _ in range(10000):
-        p = Point(
-            rng.uniform(bb.min_x, bb.max_x), rng.uniform(bb.min_y, bb.max_y)
+        x = rng.uniform(bb.min_x, bb.max_x)
+        y = rng.uniform(bb.min_y, bb.max_y)
+        interior, _ = compiled.classify_batch(
+            np.array([x]), np.array([y])
         )
-        if polygon.contains_point(p, include_boundary=False):
-            return p
+        if interior[0]:
+            return Point(x, y)
     raise ReproError("rejection sampling inside a polygon failed")

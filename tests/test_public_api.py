@@ -19,6 +19,9 @@ SUBPACKAGES = [
     "repro.experiments",
     "repro.analysis",
     "repro.simulation",
+    "repro.fleet",
+    "repro.mobility",
+    "repro.obs",
 ]
 
 
