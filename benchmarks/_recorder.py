@@ -37,6 +37,12 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 #: :func:`flush_records`.
 _RECORDS = {}
 
+#: suite name -> {case name -> dimensionless ratio}.  Kept separate from
+#: ``_RECORDS`` so a speedup factor can never be misread as a timing:
+#: the suite's ``unit`` applies to ``cases`` only, and ratios land in
+#: their own ``ratios`` block.
+_RATIOS = {}
+
 
 def run_recorded(benchmark, fn, suite, case, rounds=1):
     """Time *fn* through pytest-benchmark AND record its median.
@@ -62,6 +68,15 @@ def run_recorded(benchmark, fn, suite, case, rounds=1):
 def record_case(suite, case, median_ms):
     """Record one case's median milliseconds for the session-end flush."""
     _RECORDS.setdefault(suite, {})[case] = round(median_ms, 4)
+
+
+def record_ratio(suite, case, ratio):
+    """Record one dimensionless ratio (e.g. a speedup factor).
+
+    Flushed into the suite's ``ratios`` block, never mixed into the
+    ``median_ms`` cases.
+    """
+    _RATIOS.setdefault(suite, {})[case] = round(ratio, 4)
 
 
 def _metadata():
@@ -91,24 +106,30 @@ def flush_records(git_sha=None, timestamp=None):
     metadata = _metadata()
     for suite, cases in _RECORDS.items():
         run_cases = dict(sorted(cases.items()))
+        run_ratios = dict(sorted(_RATIOS.get(suite, {}).items()))
         path = REPO_ROOT / f"BENCH_{suite}.json"
         existing = _load_existing(path)
         merged = dict(existing.get("cases", {})) if existing else {}
         merged.update(run_cases)
+        merged_ratios = dict(existing.get("ratios", {})) if existing else {}
+        merged_ratios.update(run_ratios)
         history = list(existing.get("history", [])) if existing else []
-        history.append(
-            {
-                "cases": run_cases,
-                "metadata": metadata,
-                "git_sha": git_sha,
-                "timestamp": timestamp,
-            }
-        )
+        entry = {
+            "cases": run_cases,
+            "metadata": metadata,
+            "git_sha": git_sha,
+            "timestamp": timestamp,
+        }
+        if run_ratios:
+            entry["ratios"] = run_ratios
+        history.append(entry)
         payload = {
             "suite": suite,
             "unit": "median_ms",
             "metadata": metadata,
             "cases": dict(sorted(merged.items())),
-            "history": history,
         }
+        if merged_ratios:
+            payload["ratios"] = dict(sorted(merged_ratios.items()))
+        payload["history"] = history
         path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")

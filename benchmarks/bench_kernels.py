@@ -1,14 +1,22 @@
 """Vectorized geometry kernels vs their scalar counterparts.
 
-Two acceptance bars, asserted (not just printed) so a regression fails
-the benchmark suite:
+Acceptance bars, asserted (not just printed) so a regression fails the
+benchmark suite:
 
 * ``CompiledSubdivision.locate_batch`` >= 10x a per-point
   ``Subdivision.locate`` loop at 10_000 points;
 * the kernel-based D-tree tracer makes end-to-end
   :func:`~repro.engine.evaluate_workload` >= 1.5x the PR 1 batched
   path (the ``_trace_batch_dtree_reference`` tracer plus the old
-  per-query issue-time draws) at 10_000 queries.
+  per-query issue-time draws) at 10_000 queries;
+* the compiled trap/trian tracers are each >= 4x the per-point generic
+  fallback at 10_000 queries, with array-exact answers.
+
+Timing-key convention in ``BENCH_kernels.json``: every entry under
+``cases`` is a median in milliseconds (keys that feed a speedup
+assertion carry an explicit ``_ms`` suffix and a ``_baseline`` marker on
+the slow side); dimensionless speedup factors live under ``ratios``
+with an ``_x`` suffix and can never be misread as timings.
 
 Run with::
 
@@ -19,6 +27,7 @@ and skips the 10k-specific speedup assertions, keeping the step seconds
 long while still producing a ``BENCH_kernels.json`` artifact.
 """
 
+import copy
 import os
 import random
 import time
@@ -29,9 +38,15 @@ from repro.broadcast.schedule import BroadcastSchedule
 from repro.core.paging import PagedDTree
 from repro.datasets.catalog import uniform_dataset
 from repro.engine import evaluate_workload, index_family, register_tracer
-from repro.engine.trace import _trace_batch_dtree_reference
+from repro.engine.trace import (
+    _trace_batch_dtree_reference,
+    _trace_batch_trap_reference,
+    _trace_batch_trian_reference,
+)
+from repro.pointloc.kirkpatrick import PagedTrianTree
+from repro.pointloc.trapezoidal import PagedTrapTree
 
-from _recorder import record_case, run_recorded
+from _recorder import record_case, record_ratio, run_recorded
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 POINT_SIZES = (1_000,) if SMOKE else (1_000, 10_000)
@@ -41,7 +56,23 @@ class _ReferencePagedDTree(PagedDTree):
     """A PagedDTree that dispatches to the PR 1 reference tracer."""
 
 
+class _ReferencePagedTrapTree(PagedTrapTree):
+    """A PagedTrapTree that dispatches to the per-point generic tracer."""
+
+
+class _ReferencePagedTrianTree(PagedTrianTree):
+    """A PagedTrianTree that dispatches to the per-point generic tracer."""
+
+
 register_tracer(_ReferencePagedDTree, _trace_batch_dtree_reference)
+register_tracer(_ReferencePagedTrapTree, _trace_batch_trap_reference)
+register_tracer(_ReferencePagedTrianTree, _trace_batch_trian_reference)
+
+_REFERENCE_CLASS = {
+    "dtree": _ReferencePagedDTree,
+    "trap": _ReferencePagedTrapTree,
+    "trian": _ReferencePagedTrianTree,
+}
 
 
 @pytest.fixture(scope="module")
@@ -49,11 +80,25 @@ def subdivision():
     return uniform_dataset(n=200, seed=42).subdivision
 
 
-@pytest.fixture(scope="module")
-def dtree_cell(subdivision):
-    family = index_family("dtree")
+def _build_cell(subdivision, kind):
+    family = index_family(kind)
     params = family.parameters(packet_capacity=256)
     return family.build(subdivision, seed=7).page(params), params
+
+
+@pytest.fixture(scope="module")
+def dtree_cell(subdivision):
+    return _build_cell(subdivision, "dtree")
+
+
+@pytest.fixture(scope="module")
+def trap_cell(subdivision):
+    return _build_cell(subdivision, "trap")
+
+
+@pytest.fixture(scope="module")
+def trian_cell(subdivision):
+    return _build_cell(subdivision, "trian")
 
 
 def _points(subdivision, n, seed=0):
@@ -110,13 +155,16 @@ def bench_locate_batch_speedup_10k(benchmark, subdivision):
         benchmark,
         lambda: compiled.locate_batch(points),
         "kernels",
-        "locate_speedup-10000-batch",
+        "locate_speedup_batch_ms-10000",
         rounds=3,
     )
-    record_case("kernels", "locate_speedup-10000-scalar", scalar_s * 1000.0)
+    record_case(
+        "kernels", "locate_speedup_scalar_baseline_ms-10000", scalar_s * 1000.0
+    )
 
     assert batch_ids.tolist() == scalar_ids
     speedup = scalar_s / batch_s
+    record_ratio("kernels", "locate_speedup_x-10000", speedup)
     print(
         f"\n[locate @ 10k points] scalar {scalar_s:.3f}s, "
         f"batch {batch_s:.3f}s -> {speedup:.1f}x"
@@ -173,12 +221,11 @@ def bench_dtree_e2e_pr1(benchmark, subdivision, dtree_cell, n):
     assert len(result) == n
 
 
-def _as_reference(paged):
-    """A shallow re-classed view of *paged* dispatching to the PR 1 tracer."""
-    import copy
-
+def _as_reference(paged, kind="dtree"):
+    """A shallow re-classed view of *paged* dispatching to the
+    family's reference (per-point) tracer."""
     reference = copy.copy(paged)
-    reference.__class__ = _ReferencePagedDTree
+    reference.__class__ = _REFERENCE_CLASS[kind]
     return reference
 
 
@@ -208,10 +255,12 @@ def bench_dtree_e2e_speedup_10k(benchmark, subdivision, dtree_cell):
         benchmark,
         lambda: evaluate_workload(paged, region_ids, params, points, seed=3),
         "kernels",
-        "dtree_e2e_speedup-10000-kernel",
+        "dtree_e2e_speedup_kernel_ms-10000",
         rounds=3,
     )
-    record_case("kernels", "dtree_e2e_speedup-10000-pr1", pr1_s * 1000.0)
+    record_case(
+        "kernels", "dtree_e2e_speedup_pr1_baseline_ms-10000", pr1_s * 1000.0
+    )
 
     kernel = evaluate_workload(paged, region_ids, params, points, seed=3)
     pr1 = _reference_evaluate(reference, region_ids, params, points)
@@ -220,11 +269,145 @@ def bench_dtree_e2e_speedup_10k(benchmark, subdivision, dtree_cell):
     assert kernel.index_tuning_time.tolist() == pr1.index_tuning_time.tolist()
 
     speedup = pr1_s / kernel_s
+    record_ratio("kernels", "dtree_e2e_speedup_x-10000", speedup)
     print(
         f"\n[dtree e2e @ 10k queries] PR1 batched {pr1_s*1000:.1f}ms, "
         f"kernel {kernel_s*1000:.1f}ms -> {speedup:.2f}x"
     )
     assert speedup >= 1.5, f"kernel tracer only {speedup:.2f}x the PR 1 path"
+
+
+@pytest.mark.parametrize("kind", ("trap", "trian"))
+@pytest.mark.parametrize("n", POINT_SIZES)
+def bench_family_e2e_kernel(benchmark, subdivision, request, kind, n):
+    paged, params = request.getfixturevalue(f"{kind}_cell")
+    points = _points(subdivision, n)
+    result = run_recorded(
+        benchmark,
+        lambda: evaluate_workload(
+            paged, subdivision.region_ids, params, points, seed=3
+        ),
+        "kernels",
+        f"{kind}_e2e_kernel-{n}",
+        rounds=3,
+    )
+    assert len(result) == n
+
+
+@pytest.mark.parametrize("kind", ("trap", "trian"))
+@pytest.mark.parametrize("n", POINT_SIZES)
+def bench_family_e2e_generic(benchmark, subdivision, request, kind, n):
+    paged, params = request.getfixturevalue(f"{kind}_cell")
+    reference = _as_reference(paged, kind)
+    points = _points(subdivision, n)
+    result = run_recorded(
+        benchmark,
+        lambda: evaluate_workload(
+            reference, subdivision.region_ids, params, points, seed=3
+        ),
+        "kernels",
+        f"{kind}_e2e_generic-{n}",
+    )
+    assert len(result) == n
+
+
+@pytest.mark.parametrize("kind", ("trap", "trian"))
+def bench_family_e2e_speedup_10k(benchmark, subdivision, request, kind):
+    """Acceptance bar: compiled trap/trian tracer >= 4x the per-point
+    generic fallback at 10k queries, answers array-exact."""
+    if SMOKE:
+        pytest.skip("smoke mode runs 1k sizes only")
+    n = 10_000
+    paged, params = request.getfixturevalue(f"{kind}_cell")
+    reference = _as_reference(paged, kind)
+    region_ids = subdivision.region_ids
+    points = _points(subdivision, n)
+
+    generic_s = min(
+        _timed(
+            lambda: evaluate_workload(
+                reference, region_ids, params, points, seed=3
+            )
+        )
+        for _ in range(3)
+    )
+    kernel_s = min(
+        _timed(
+            lambda: evaluate_workload(paged, region_ids, params, points, seed=3)
+        )
+        for _ in range(3)
+    )
+    run_recorded(
+        benchmark,
+        lambda: evaluate_workload(paged, region_ids, params, points, seed=3),
+        "kernels",
+        f"{kind}_e2e_speedup_kernel_ms-10000",
+        rounds=3,
+    )
+    record_case(
+        "kernels",
+        f"{kind}_e2e_speedup_generic_baseline_ms-10000",
+        generic_s * 1000.0,
+    )
+
+    kernel = evaluate_workload(paged, region_ids, params, points, seed=3)
+    generic = evaluate_workload(reference, region_ids, params, points, seed=3)
+    assert kernel.region_ids.tolist() == generic.region_ids.tolist()
+    assert kernel.access_latency.tolist() == generic.access_latency.tolist()
+    assert (
+        kernel.index_tuning_time.tolist() == generic.index_tuning_time.tolist()
+    )
+
+    speedup = generic_s / kernel_s
+    record_ratio("kernels", f"{kind}_e2e_speedup_x-10000", speedup)
+    print(
+        f"\n[{kind} e2e @ 10k queries] generic {generic_s*1000:.1f}ms, "
+        f"kernel {kernel_s*1000:.1f}ms -> {speedup:.2f}x"
+    )
+    assert speedup >= 4.0, (
+        f"compiled {kind} tracer only {speedup:.2f}x the generic fallback"
+    )
+
+
+def bench_family_gap_vs_dtree_10k(
+    benchmark, subdivision, dtree_cell, trap_cell, trian_cell
+):
+    """Record the family-vs-D-tree end-to-end gap at 10k queries — the
+    tentpole's target is trap and trian each within ~3x of the batched
+    D-tree."""
+    if SMOKE:
+        pytest.skip("smoke mode runs 1k sizes only")
+    n = 10_000
+    region_ids = subdivision.region_ids
+    points = _points(subdivision, n)
+    cells = {"dtree": dtree_cell, "trap": trap_cell, "trian": trian_cell}
+    seconds = {}
+    for kind, (paged, params) in cells.items():
+        seconds[kind] = min(
+            _timed(
+                lambda: evaluate_workload(
+                    paged, region_ids, params, points, seed=3
+                )
+            )
+            for _ in range(3)
+        )
+    dtree_paged, dtree_params = cells["dtree"]
+    run_recorded(
+        benchmark,
+        lambda: evaluate_workload(
+            dtree_paged, region_ids, dtree_params, points, seed=3
+        ),
+        "kernels",
+        "family_gap_dtree_baseline_ms-10000",
+        rounds=3,
+    )
+    for kind in ("trap", "trian"):
+        gap = seconds[kind] / seconds["dtree"]
+        record_ratio("kernels", f"{kind}_vs_dtree_e2e_x-10000", gap)
+        print(
+            f"\n[{kind} vs dtree e2e @ 10k] {kind} {seconds[kind]*1000:.1f}ms, "
+            f"dtree {seconds['dtree']*1000:.1f}ms -> {gap:.2f}x"
+        )
 
 
 def _timed(fn):

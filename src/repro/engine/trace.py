@@ -20,6 +20,18 @@ guaranteeing results identical to the per-query path:
   leaf test uses the region's cached
   :class:`~repro.geometry.kernels.CompiledPolygon`, whose boundary
   semantics equal the scalar predicate bit for bit.
+* **trap-tree** — flat-frontier descent over the trapezoidal-map DAG
+  compiled to packed structure-of-arrays form
+  (:class:`_CompiledTrapTree`): x-node comparisons and y-node
+  cross-product tests run vectorized over the whole frontier
+  (:func:`~repro.geometry.kernels.cross_batch`), with the degenerate
+  ``effective_point`` nudge resolved by a vectorized pre-pass.
+* **trian-tree** — level-synchronous descent over the Kirkpatrick
+  hierarchy compiled to CSR child arrays in broadcast order
+  (:class:`_CompiledTrianTree`): each level expands the frontier's
+  candidate children raggedly and picks the first containing triangle
+  with one :func:`~repro.geometry.kernels.point_in_triangles_batch`
+  sweep, charging the scanned packets incrementally per §4.4.
 * **anything else** — a per-point fallback over the index's own
   ``trace``, so third-party families registered via
   :func:`repro.engine.register_index` work unchanged; they can opt into
@@ -45,9 +57,11 @@ from repro.obs import active_collector
 from repro.broadcast.packets import PagedIndex, dedupe_consecutive
 from repro.geometry.kernels import (
     CompiledPartition,
+    cross_batch,
     mbrs_contain_batch,
     point_coords,
 )
+from repro.geometry.predicates import EPS
 from repro.geometry.point import Point
 
 
@@ -95,10 +109,14 @@ def _load_builtin_tracers() -> None:
     # which would cycle if pulled in while this package loads.
     global _BUILTINS_LOADED
     from repro.core.paging import PagedDTree
+    from repro.pointloc.kirkpatrick import PagedTrianTree
+    from repro.pointloc.trapezoidal import PagedTrapTree
     from repro.rstar.paged import PagedRStarTree
 
     TRACER_REGISTRY.setdefault(PagedDTree, _trace_batch_dtree)
     TRACER_REGISTRY.setdefault(PagedRStarTree, _trace_batch_rstar)
+    TRACER_REGISTRY.setdefault(PagedTrapTree, _trace_batch_trap)
+    TRACER_REGISTRY.setdefault(PagedTrianTree, _trace_batch_trian)
     _BUILTINS_LOADED = True
 
 
@@ -585,7 +603,497 @@ def _trace_batch_rstar(paged, points: Sequence[Point]) -> TraceBatch:
     return TraceBatch(regions, last, tuning)
 
 
+# -- trap-tree: flat-frontier descent over the packed DAG --------------------
+
+_UNCOMPILED = object()
+
+_TRAP_XNODE = np.int8(0)
+_TRAP_YNODE = np.int8(1)
+_TRAP_LEAF = np.int8(2)
+
+
+class _CompiledTrapTree:
+    """The trapezoidal-map search DAG flattened to structure-of-arrays.
+
+    Nodes are indexed in the paged tree's topological (broadcast) order,
+    root at index 0.  ``kind`` discriminates x-node / y-node / leaf;
+    x-nodes store their vertex in ``ax/ay``, y-nodes their segment in
+    ``ax/ay -> bx/by``.  ``on_true``/``on_false`` are the child indices
+    for a true/false branch decision (right/left at an x-node,
+    above/below at a y-node); ``packet`` is each node's broadcast packet
+    and ``region`` the leaf's data region (``-1`` for the uncovered
+    slivers outside the subdivision).
+    """
+
+    __slots__ = (
+        "kind",
+        "ax",
+        "ay",
+        "bx",
+        "by",
+        "on_true",
+        "on_false",
+        "packet",
+        "region",
+    )
+
+
+def _compile_trap(paged):
+    """Compile the paged trap-tree, built once and cached on it.
+
+    Validates at compile time what the incremental §4.4 charging relies
+    on: a dense DAG (no dangling children) whose child packets never
+    precede a parent's packet — guaranteed by the allocator, which
+    places every node at or after its latest parent packet.  Returns
+    None (cached) when the invariants do not hold, sending the tracer
+    to the per-point reference path.
+    """
+    compiled = getattr(paged, "_compiled_trap", _UNCOMPILED)
+    if compiled is not _UNCOMPILED:
+        return compiled
+    from repro.pointloc.trapezoidal import _Leaf, _XNode
+
+    nodes = paged.tree.nodes_topological()
+    count = len(nodes)
+    pos = {id(node): i for i, node in enumerate(nodes)}
+    kind = np.empty(count, np.int8)
+    ax = np.zeros(count, np.float64)
+    ay = np.zeros(count, np.float64)
+    bx = np.zeros(count, np.float64)
+    by = np.zeros(count, np.float64)
+    on_true = np.zeros(count, np.int32)
+    on_false = np.zeros(count, np.int32)
+    packet = np.empty(count, np.int32)
+    region = np.full(count, -1, np.int32)
+
+    ok = count > 0 and pos.get(id(paged.tree.root)) == 0
+    for i, node in enumerate(nodes):
+        if not ok:
+            break
+        packet[i] = paged._node_packet[id(node)]
+        if isinstance(node, _Leaf):
+            kind[i] = _TRAP_LEAF
+            if node.trap.region is not None:
+                region[i] = node.trap.region
+        elif isinstance(node, _XNode):
+            kind[i] = _TRAP_XNODE
+            ax[i] = node.point.x
+            ay[i] = node.point.y
+            if node.left is None or node.right is None:
+                ok = False
+                break
+            on_true[i] = pos[id(node.right)]
+            on_false[i] = pos[id(node.left)]
+        else:  # _YNode
+            kind[i] = _TRAP_YNODE
+            seg = node.seg
+            ax[i] = seg.p.x
+            ay[i] = seg.p.y
+            bx[i] = seg.q.x
+            by[i] = seg.q.y
+            if node.above is None or node.below is None:
+                ok = False
+                break
+            on_true[i] = pos[id(node.above)]
+            on_false[i] = pos[id(node.below)]
+
+    if ok:
+        internal = kind != _TRAP_LEAF
+        for child in (on_true[internal], on_false[internal]):
+            if not (packet[child] >= packet[internal]).all():
+                ok = False
+                break
+
+    compiled = None
+    if ok:
+        ct = _CompiledTrapTree()
+        ct.kind = kind
+        ct.ax = ax
+        ct.ay = ay
+        ct.bx = bx
+        ct.by = by
+        ct.on_true = on_true
+        ct.on_false = on_false
+        ct.packet = packet
+        ct.region = region
+        compiled = ct
+    paged._compiled_trap = compiled
+    return compiled
+
+
+def _trap_tree_regions(
+    ct: _CompiledTrapTree, xs: np.ndarray, ys: np.ndarray
+) -> np.ndarray:
+    """Leaf region per (already sheared) point under the *tree* descent
+    rules — ``TrapTree._descend(pt, None)``: x ties go right on the x
+    comparison alone, zero cross goes above.  Backs the vectorized
+    ``effective_point`` degeneracy check; ``-1`` marks points landing
+    in an uncovered sliver."""
+    n = len(xs)
+    out = np.full(n, -1, np.int64)
+    apt = np.arange(n)
+    anode = np.zeros(n, np.int64)
+    while apt.size:
+        nd = anode
+        leaf = ct.kind[nd] == _TRAP_LEAF
+        if leaf.any():
+            out[apt[leaf]] = ct.region[nd[leaf]]
+            keep = ~leaf
+            apt = apt[keep]
+            nd = nd[keep]
+            if apt.size == 0:
+                break
+        x = xs[apt]
+        y = ys[apt]
+        nax = ct.ax[nd]
+        cond = x >= nax
+        is_y = ct.kind[nd] == _TRAP_YNODE
+        if is_y.any():
+            cross = cross_batch(nax, ct.ay[nd], ct.bx[nd], ct.by[nd], x, y)
+            cond = np.where(is_y, cross >= 0.0, cond)
+        anode = np.where(cond, ct.on_true[nd], ct.on_false[nd]).astype(np.int64)
+    return out
+
+
+def _trace_batch_trap(paged, points: Sequence[Point]) -> TraceBatch:
+    """Flat-frontier descent of the paged trap-tree.
+
+    Two vectorized passes over the compiled DAG: first the tree-rule
+    descent of the sheared points replicates ``effective_point`` (the
+    rare degenerate hits fall back to the scalar nudge loop per point),
+    then the paged-trace descent — lexicographic x ties, zero cross
+    above — walks all queries level-synchronously, charging each
+    visited node's packet incrementally.  The allocator guarantees
+    nondecreasing packets along every root-to-leaf path (checked at
+    compile time), so distinct-packet tuning time is simply the count
+    of packet changes.  Any query ending in an uncovered sliver defers
+    to the per-point reference, which raises the scalar error for the
+    earliest failing point.
+    """
+    ct = _compile_trap(paged)
+    if ct is None:
+        return _trace_batch_trap_reference(paged, points)
+    from repro.pointloc.trapezoidal import SHEAR
+
+    n = len(points)
+    xs, ys = point_coords(points)
+    col = active_collector()
+
+    # effective_point, vectorized: shear every point (identical
+    # arithmetic to the scalar `_shear`), then nudge the degenerate
+    # landings via the scalar fallback — a measure-zero event.
+    ex = xs + SHEAR * ys
+    ey = ys.copy()
+    degenerate = _trap_tree_regions(ct, ex, ey) < 0
+    if degenerate.any():
+        if col is not None:
+            col.count("trace.trap.nudged", int(degenerate.sum()))
+        tree = paged.tree
+        for i in np.flatnonzero(degenerate).tolist():
+            nudged = tree.effective_point(points[i])
+            ex[i] = nudged.x
+            ey[i] = nudged.y
+
+    regions = np.empty(n, np.int64)
+    last_out = np.empty(n, np.int64)
+    tuning_out = np.empty(n, np.int64)
+
+    apt = np.arange(n)  # active point index
+    anode = np.zeros(n, np.int64)  # current node (root = 0)
+    alast = np.full(n, -1, np.int64)  # last packet read (-1 = none yet)
+    atun = np.zeros(n, np.int64)  # distinct packets read so far
+
+    while apt.size:
+        nd = anode
+        if col is not None:
+            col.count("trace.trap.levels")
+            col.observe("trace.trap.frontier_width", apt.size)
+        # Charge the node being read: packets never decrease along a
+        # descent, so every packet change is a new distinct packet.
+        pkt = ct.packet[nd]
+        atun += pkt != alast
+        alast = pkt.astype(np.int64)
+        leaf = ct.kind[nd] == _TRAP_LEAF
+        if leaf.any():
+            done = apt[leaf]
+            regions[done] = ct.region[nd[leaf]]
+            last_out[done] = alast[leaf]
+            tuning_out[done] = atun[leaf]
+            keep = ~leaf
+            apt = apt[keep]
+            nd = nd[keep]
+            alast = alast[keep]
+            atun = atun[keep]
+            if apt.size == 0:
+                break
+        x = ex[apt]
+        y = ey[apt]
+        nax = ct.ax[nd]
+        # Paged-trace x rule: lexicographic (x, y) >= (node.x, node.y).
+        cond = (x > nax) | ((x == nax) & (y >= ct.ay[nd]))
+        is_y = ct.kind[nd] == _TRAP_YNODE
+        if is_y.any():
+            cross = cross_batch(nax, ct.ay[nd], ct.bx[nd], ct.by[nd], x, y)
+            cond = np.where(is_y, cross >= 0.0, cond)
+        anode = np.where(cond, ct.on_true[nd], ct.on_false[nd]).astype(np.int64)
+
+    if (regions < 0).any():
+        # Uncovered sliver: the reference path raises the scalar
+        # QueryError for the earliest failing point.
+        _trace_batch_trap_reference(paged, points)
+        raise QueryError("trap-tree descent failed")  # pragma: no cover
+    return TraceBatch(regions, last_out, tuning_out)
+
+
+# -- trian-tree: level-synchronous descent over CSR child arrays -------------
+
+
+class _CompiledTrianTree:
+    """The Kirkpatrick hierarchy flattened to CSR child arrays.
+
+    Nodes are indexed in the paged tree's level (broadcast) order; a
+    synthetic entry at index ``len(region)`` represents the root
+    directory, whose children are the coarsest triangles.  Each node's
+    children sit in ``child_flat[child_start[i] : child_start[i] +
+    child_count[i]]``, sorted stably by packet — the exact scan order
+    of the scalar ``_scan``.  ``child_pkt`` mirrors each child's
+    packet and ``child_distinct`` the running count of distinct packets
+    in the child list's prefix, which turns §4.4 charging of a partial
+    scan into one gather.
+
+    The ``ctri_*`` arrays duplicate each child's CCW triangle vertices
+    per CSR slot, so the level sweep gathers candidate coordinates
+    with one indirection instead of two.
+    """
+
+    __slots__ = (
+        "region",
+        "child_start",
+        "child_count",
+        "child_flat",
+        "child_pkt",
+        "child_distinct",
+        "ctri_ax",
+        "ctri_ay",
+        "ctri_bx",
+        "ctri_by",
+        "ctri_cx",
+        "ctri_cy",
+    )
+
+
+def _compile_trian(paged):
+    """Compile the paged trian-tree, built once and cached on it.
+
+    Validates the broadcast-order invariants the batched scan charging
+    relies on: every child's packet at or after its parent's (the
+    greedy level-order allocator guarantees this) and a non-empty root
+    level.  Returns None (cached) otherwise, deferring to the
+    per-point reference path.
+    """
+    compiled = getattr(paged, "_compiled_trian", _UNCOMPILED)
+    if compiled is not _UNCOMPILED:
+        return compiled
+    order = paged._order
+    count = len(order)
+    pos = {id(node): i for i, node in enumerate(order)}
+    node_pkt = paged._node_packet
+
+    tri_ax = np.empty(count, np.float64)
+    tri_ay = np.empty(count, np.float64)
+    tri_bx = np.empty(count, np.float64)
+    tri_by = np.empty(count, np.float64)
+    tri_cx = np.empty(count, np.float64)
+    tri_cy = np.empty(count, np.float64)
+    region = np.full(count, -1, np.int32)
+    child_start = np.zeros(count + 1, np.int64)
+    child_count = np.zeros(count + 1, np.int64)
+    flat: List[int] = []
+    flat_pkt: List[int] = []
+    flat_distinct: List[int] = []
+
+    ok = count > 0 and len(paged.tree.roots) > 0
+
+    def append_children(parent_packet: int, children) -> bool:
+        # Stable sort by packet — the scalar ``_scan`` candidate order.
+        ordered = sorted(children, key=lambda nd: node_pkt[id(nd)])
+        distinct = 0
+        prev = None
+        for child in ordered:
+            cpos = pos.get(id(child))
+            pkt = node_pkt[id(child)]
+            if cpos is None or pkt < parent_packet:
+                return False
+            if pkt != prev:
+                distinct += 1
+                prev = pkt
+            flat.append(cpos)
+            flat_pkt.append(pkt)
+            flat_distinct.append(distinct)
+        return True
+
+    for i, node in enumerate(order):
+        if not ok:
+            break
+        tri = node.triangle
+        tri_ax[i] = tri.a.x
+        tri_ay[i] = tri.a.y
+        tri_bx[i] = tri.b.x
+        tri_by[i] = tri.b.y
+        tri_cx[i] = tri.c.x
+        tri_cy[i] = tri.c.y
+        if node.region_id is not None:
+            region[i] = node.region_id
+        child_start[i] = len(flat)
+        ok = append_children(node_pkt[id(node)], node.children)
+        child_count[i] = len(flat) - child_start[i]
+    if ok:
+        child_start[count] = len(flat)
+        ok = append_children(paged._root_dir_packet, paged.tree.roots)
+        child_count[count] = len(flat) - child_start[count]
+
+    compiled = None
+    if ok:
+        ct = _CompiledTrianTree()
+        ct.region = region
+        ct.child_start = child_start
+        ct.child_count = child_count
+        ct.child_flat = np.asarray(flat, np.int64)
+        ct.child_pkt = np.asarray(flat_pkt, np.int64)
+        ct.child_distinct = np.asarray(flat_distinct, np.int64)
+        ct.ctri_ax = tri_ax[ct.child_flat]
+        ct.ctri_ay = tri_ay[ct.child_flat]
+        ct.ctri_bx = tri_bx[ct.child_flat]
+        ct.ctri_by = tri_by[ct.child_flat]
+        ct.ctri_cx = tri_cx[ct.child_flat]
+        ct.ctri_cy = tri_cy[ct.child_flat]
+        compiled = ct
+    paged._compiled_trian = compiled
+    return compiled
+
+
+def _trace_batch_trian(paged, points: Sequence[Point]) -> TraceBatch:
+    """Level-synchronous descent of the paged trian-tree.
+
+    Every level expands the frontier's candidate children into one
+    ragged array, tests them with a single batched point-in-triangle
+    sweep over the packed ``scan_pack`` operands (the arithmetic of
+    :func:`~repro.geometry.kernels.point_in_triangles_batch`), and
+    picks the first containing triangle per point with a
+    ``minimum.reduceat`` — the scalar scan order, since children are
+    compiled sorted by packet.
+    Charging is incremental: a scan through child slots ``0..f`` reads
+    ``child_distinct[f]`` distinct packets, minus one when the scan's
+    first packet repeats the previous level's last.  A point whose scan
+    finds no containing triangle, or which terminates in a gap
+    triangle, defers the whole batch to the per-point reference to
+    raise the scalar error for the earliest failing point.
+    """
+    ct = _compile_trian(paged)
+    if ct is None:
+        return _trace_batch_trian_reference(paged, points)
+    n = len(points)
+    xs, ys = point_coords(points)
+    col = active_collector()
+
+    regions = np.empty(n, np.int64)
+    last_out = np.empty(n, np.int64)
+    tuning_out = np.empty(n, np.int64)
+
+    count = len(ct.region)
+    apt = np.arange(n)  # active point index
+    anode = np.full(n, count, np.int64)  # synthetic root-directory node
+    alast = np.full(n, paged._root_dir_packet, np.int64)
+    atun = np.ones(n, np.int64)  # the root directory is always read
+
+    flat_sentinel = np.iinfo(np.int64).max
+    while apt.size:
+        nd = anode
+        if col is not None:
+            col.count("trace.trian.levels")
+            col.observe("trace.trian.frontier_width", apt.size)
+        counts = ct.child_count[nd]
+        starts = ct.child_start[nd]
+        offsets = np.cumsum(counts)
+        total = int(offsets[-1])
+        # CSR slot index per (active point, candidate child) pair.
+        flat = np.repeat(starts - offsets + counts, counts) + np.arange(
+            total, dtype=np.int64
+        )
+        if col is not None:
+            col.observe("trace.trian.scan_width", total)
+        rep = np.repeat(apt, counts)
+        px = xs[rep]
+        py = ys[rep]
+        tax = ct.ctri_ax[flat]
+        tay = ct.ctri_ay[flat]
+        tbx = ct.ctri_bx[flat]
+        tby = ct.ctri_by[flat]
+        tcx = ct.ctri_cx[flat]
+        tcy = ct.ctri_cy[flat]
+        # Triangle.contains_point, IEEE-754 expression order verbatim
+        # (the arithmetic of point_in_triangles_batch); min(c1, c2, c3)
+        # >= -EPS is exactly "all three signs non-negative" — the
+        # operands are finite, never NaN.
+        c1 = (tbx - tax) * (py - tay) - (tby - tay) * (px - tax)
+        c2 = (tcx - tbx) * (py - tby) - (tcy - tby) * (px - tbx)
+        c3 = (tax - tcx) * (py - tcy) - (tay - tcy) * (px - tcx)
+        contains = np.minimum(np.minimum(c1, c2), c3) >= -EPS
+        # First containing child per point: flat indices ascend within a
+        # node's slice, so the minimum hit is the scalar scan's choice.
+        f = np.minimum.reduceat(
+            np.where(contains, flat, flat_sentinel), offsets - counts
+        )
+        if (f == flat_sentinel).any():
+            # No containing child: the reference raises the scalar
+            # "outside the super-triangle" / "descent lost" error.
+            _trace_batch_trian_reference(paged, points)
+            raise QueryError("trian-tree descent failed")  # pragma: no cover
+        # §4.4: the scan read child slots 0..f, touching
+        # child_distinct[f] distinct packets; the first one may repeat
+        # the previous level's last packet.
+        atun += ct.child_distinct[f] - (ct.child_pkt[starts] == alast)
+        alast = ct.child_pkt[f]
+        anode = ct.child_flat[f]
+        term = ct.child_count[anode] == 0
+        if term.any():
+            treg = ct.region[anode[term]]
+            if (treg < 0).any():
+                # Gap triangle: "outside the subdivided area" per point.
+                _trace_batch_trian_reference(paged, points)
+                raise QueryError("trian-tree descent failed")  # pragma: no cover
+            done = apt[term]
+            regions[done] = treg
+            last_out[done] = alast[term]
+            tuning_out[done] = atun[term]
+            keep = ~term
+            apt = apt[keep]
+            anode = anode[keep]
+            alast = alast[keep]
+            atun = atun[keep]
+
+    return TraceBatch(regions, last_out, tuning_out)
+
+
 # -- PR 1 reference tracers (regression oracle + benchmark baseline) ---------
+
+
+def _trace_batch_trap_reference(paged, points: Sequence[Point]) -> TraceBatch:
+    """The pre-compilation trap-tree path: one scalar ``trace`` per point.
+
+    Kept as the parity oracle and benchmark baseline for
+    :func:`_trace_batch_trap`; not registered for dispatch.
+    """
+    return _trace_batch_generic(paged, points)
+
+
+def _trace_batch_trian_reference(paged, points: Sequence[Point]) -> TraceBatch:
+    """The pre-compilation trian-tree path: one scalar ``trace`` per point.
+
+    Kept as the parity oracle and benchmark baseline for
+    :func:`_trace_batch_trian`; not registered for dispatch.
+    """
+    return _trace_batch_generic(paged, points)
 
 
 def _early_sides(partition, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:

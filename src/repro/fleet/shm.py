@@ -19,12 +19,20 @@ Three groups of arrays travel through the arena:
   preorder (node structure, packet ids and leaf payloads ride in the
   meta dict; leaf polygons are recompiled per worker from the pickled
   subdivision — they are small and their compiled form caches itself);
+* ``trap.*`` — every array slot of
+  :class:`~repro.engine.trace._CompiledTrapTree` (the flattened
+  trapezoidal-map DAG is pure SoA, nothing rides in the meta dict);
+* ``trian.*`` — every array slot of
+  :class:`~repro.engine.trace._CompiledTrianTree` (the CSR child
+  directory plus per-slot triangle vertices; the root-directory packet
+  lives on the pickled paged index itself);
 * ``schedule.*`` — the :class:`~repro.engine.QueryEngine` memoized
   timeline arrays (index-segment starts, dense region->position map).
 
-Trap/trian-tree paged indexes have no compiled cache; they share the
-``schedule.*`` arrays only and rebuild their per-process state from the
-pickled index (documented fallback).
+All four index families therefore fan out zero-copy.  A paged index
+whose compile step declines (``_compile_* -> None``) falls back to the
+``generic`` family: workers share the ``schedule.*`` arrays only and
+trace through the per-point reference path.
 """
 
 from __future__ import annotations
@@ -35,7 +43,16 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import ReproError
-from repro.engine.trace import _CompiledDTree, _CompiledRStarNode, _compile_dtree, _compile_rstar
+from repro.engine.trace import (
+    _CompiledDTree,
+    _CompiledRStarNode,
+    _CompiledTrapTree,
+    _CompiledTrianTree,
+    _compile_dtree,
+    _compile_rstar,
+    _compile_trap,
+    _compile_trian,
+)
 
 #: Byte alignment of every array inside the arena block.
 _ALIGN = 64
@@ -47,6 +64,11 @@ Manifest = Dict[str, ManifestEntry]
 #: Array slots of _CompiledDTree shipped through the arena (everything
 #: except the scalar ``root``).
 _DTREE_SLOTS = tuple(s for s in _CompiledDTree.__slots__ if s != "root")
+
+#: Array slots of the compiled trap/trian trees — pure SoA, every slot
+#: is an ndarray, so the whole compiled object ships through the arena.
+_TRAP_SLOTS = tuple(_CompiledTrapTree.__slots__)
+_TRIAN_SLOTS = tuple(_CompiledTrianTree.__slots__)
 
 
 def _align(offset: int) -> int:
@@ -197,6 +219,8 @@ def export_compiled_state(paged, engine) -> Tuple[Dict[str, np.ndarray], dict]:
     """Arrays + meta describing *paged*'s compiled form and *engine*'s
     memoized schedule arrays, ready for :meth:`ShmArena.create`."""
     from repro.core.paging import PagedDTree
+    from repro.pointloc.kirkpatrick import PagedTrianTree
+    from repro.pointloc.trapezoidal import PagedTrapTree
     from repro.rstar.paged import PagedRStarTree
 
     arrays: Dict[str, np.ndarray] = {}
@@ -210,6 +234,18 @@ def export_compiled_state(paged, engine) -> Tuple[Dict[str, np.ndarray], dict]:
         rstar_arrays, rstar_meta = _export_rstar(_compile_rstar(paged))
         arrays.update(rstar_arrays)
         meta = {"family": "rstar", **rstar_meta}
+    elif isinstance(paged, PagedTrapTree):
+        ct = _compile_trap(paged)
+        if ct is not None:
+            meta = {"family": "trap"}
+            for slot in _TRAP_SLOTS:
+                arrays[f"trap.{slot}"] = getattr(ct, slot)
+    elif isinstance(paged, PagedTrianTree):
+        ct = _compile_trian(paged)
+        if ct is not None:
+            meta = {"family": "trian"}
+            for slot in _TRIAN_SLOTS:
+                arrays[f"trian.{slot}"] = getattr(ct, slot)
     if getattr(engine, "_vectorized", False):
         arrays["schedule.segment_starts"] = engine._segment_starts
         arrays["schedule.bucket_position"] = engine._bucket_position
@@ -230,6 +266,16 @@ def attach_compiled_state(
         paged._compiled_dtree = ct
     elif family == "rstar":
         _attach_rstar(paged, views, meta)
+    elif family == "trap":
+        ct = _CompiledTrapTree()
+        for slot in _TRAP_SLOTS:
+            setattr(ct, slot, views[f"trap.{slot}"])
+        paged._compiled_trap = ct
+    elif family == "trian":
+        ct = _CompiledTrianTree()
+        for slot in _TRIAN_SLOTS:
+            setattr(ct, slot, views[f"trian.{slot}"])
+        paged._compiled_trian = ct
     if engine is not None and "schedule.segment_starts" in views:
         engine._segment_starts = views["schedule.segment_starts"]
         engine._bucket_position = views["schedule.bucket_position"]

@@ -46,10 +46,12 @@ from repro.geometry.predicates import EPS
 __all__ = [
     "point_coords",
     "orientation_batch",
+    "cross_batch",
     "on_segment_batch",
     "rect_contains_batch",
     "mbrs_contain_batch",
     "point_segment_distance_batch",
+    "point_in_triangles_batch",
     "points_in_polygon",
     "CompiledPolygon",
     "CompiledPartition",
@@ -77,6 +79,35 @@ def orientation_batch(ax, ay, bx, by, cx, cy) -> np.ndarray:
     out[cross > EPS] = 1
     out[cross < -EPS] = -1
     return out
+
+
+def cross_batch(ax, ay, bx, by, cx, cy) -> np.ndarray:
+    """Raw cross products ``(b - a) x (c - a)``, broadcasting.
+
+    The shared sub-expression of :func:`orientation_batch` and the
+    trap-tree's exact ``_cross`` y-node test, in the scalar IEEE-754
+    operation order.  Callers apply their own sign/tolerance rule: the
+    trap-tree compares the raw value to zero, the triangle test to
+    ``-EPS``.
+    """
+    return (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+
+
+def point_in_triangles_batch(
+    ax, ay, bx, by, cx, cy, px, py
+) -> np.ndarray:
+    """Vectorized :meth:`Triangle.contains_point` (closed containment).
+
+    Each element pairs one CCW triangle ``(a, b, c)`` with one query
+    point ``p``; the result is True where all three orientation signs
+    are non-negative, i.e. each raw cross product is ``>= -EPS`` —
+    exactly the scalar ``d1 >= 0 and d2 >= 0 and d3 >= 0`` decision.
+    """
+    return (
+        (cross_batch(ax, ay, bx, by, px, py) >= -EPS)
+        & (cross_batch(bx, by, cx, cy, px, py) >= -EPS)
+        & (cross_batch(cx, cy, ax, ay, px, py) >= -EPS)
+    )
 
 
 def on_segment_batch(px, py, ax, ay, bx, by) -> np.ndarray:

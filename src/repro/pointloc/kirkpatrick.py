@@ -435,9 +435,12 @@ class PagedTrianTree:
         ``_node_packet`` is keyed by ``id(node)``, so it is shipped as a
         packet list aligned with ``self._order`` (whose elements pickle
         identity-consistently with the tree via the pickle memo) and
-        re-keyed on restore.
+        re-keyed on restore.  The compiled node arrays
+        (``repro.engine.trace``) are dropped: workers rebuild or attach
+        them from a shared-memory arena.
         """
         state = dict(self.__dict__)
+        state.pop("_compiled_trian", None)
         state["_node_packet"] = [
             self._node_packet[id(node)] for node in self._order
         ]

@@ -514,8 +514,11 @@ class PagedTrapTree:
         another process — so it is shipped as a packet list in the
         (structure-determined, hence pickle-stable) topological order
         and re-keyed against the unpickled node objects on restore.
+        The compiled node arrays (``repro.engine.trace``) are dropped:
+        workers rebuild or attach them from a shared-memory arena.
         """
         state = dict(self.__dict__)
+        state.pop("_compiled_trap", None)
         state["_node_packet"] = [
             self._node_packet[id(node)]
             for node in self.tree.nodes_topological()

@@ -118,6 +118,16 @@ class TestShmArena:
         assert any(name.startswith("dtree.") for name in arrays)
         assert "schedule.segment_starts" in arrays
 
+    @pytest.mark.parametrize("kind", ("trap", "trian"))
+    def test_export_compiled_state_trap_trian(self, fleet_world, kind):
+        _, world = fleet_world
+        paged, schedule, _ = world[kind]
+        engine = QueryEngine(paged, schedule)
+        arrays, meta = export_compiled_state(paged, engine)
+        assert meta["family"] == kind
+        assert any(name.startswith(f"{kind}.") for name in arrays)
+        assert "schedule.segment_starts" in arrays
+
 
 class TestEngineModeDeterminism:
     def test_answers_invariant_to_chunk_size(self, fleet_world):
@@ -190,6 +200,29 @@ class TestEngineModeDeterminism:
         assert report.metrics["energy_joules"].total == pytest.approx(
             oracle, rel=1e-13
         )
+
+
+class TestTrapTrianWorkerParity:
+    """The compiled trap/trian state fans out through the arena with
+    exact worker-count invariance: answers array-exact, every summary
+    float bit-identical, under both start methods."""
+
+    @pytest.mark.parametrize("kind", ("trap", "trian"))
+    @pytest.mark.parametrize("start_method", ("fork", "spawn"))
+    def test_workers_1_vs_8(self, fleet_world, kind, start_method):
+        spec = _spec(fleet_world, kind=kind)
+        solo = FleetRunner(spec, chunk_size=100).run(800)
+        fanned = FleetRunner(
+            spec, chunk_size=100, workers=8, start_method=start_method
+        ).run(800)
+        np.testing.assert_array_equal(
+            solo.merged_answers(), fanned.merged_answers()
+        )
+        s1, s8 = solo.summary(), fanned.summary()
+        for key in s1:
+            assert s1[key] == s8[key] or (
+                math.isnan(s1[key]) and math.isnan(s8[key])
+            ), key
 
 
 class TestSimulateModeDeterminism:

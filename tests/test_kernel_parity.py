@@ -5,10 +5,12 @@ index family, :func:`repro.engine.batched_trace` has to agree element
 for element with the per-point ``paged.trace`` fallback, and
 :func:`repro.engine.evaluate_workload` has to reproduce the PR 1
 batched path (reference tracers + per-query ``rng.uniform`` issue-time
-draws) array-exact.  Adversarial boundary points ride along for the
-families with kernel tracers (D-tree, R*-tree); the triangular and
-trapezoidal families dispatch to the generic fallback and are checked
-on random points.
+draws) array-exact.  All four families have dedicated kernel tracers;
+adversarial boundary points (region vertices, edge midpoints) ride
+along everywhere.  For the trap/trian families the scalar paths can
+legitimately *reject* a boundary vertex (``QueryError``) — those points
+are filtered out of the parity batches and asserted separately to raise
+identical errors through the batched path.
 """
 
 import copy
@@ -30,14 +32,21 @@ from repro.engine.trace import (
     _trace_batch_dtree_reference,
     _trace_batch_generic,
     _trace_batch_rstar_reference,
+    _trace_batch_trap_reference,
+    _trace_batch_trian_reference,
 )
+from repro.errors import QueryError
+from repro.pointloc.kirkpatrick import PagedTrianTree
+from repro.pointloc.trapezoidal import PagedTrapTree
 from repro.rstar.paged import PagedRStarTree
 
 from tests.conftest import random_points_in
 from tests.test_geometry_kernels import adversarial_points
 
 ALL_KINDS = ("dtree", "trian", "trap", "rstar")
-KERNEL_KINDS = ("dtree", "rstar")  # families with dedicated kernel tracers
+KERNEL_KINDS = ALL_KINDS  # every family has a dedicated kernel tracer
+#: Families whose scalar tracer may reject boundary points outright.
+REJECTING_KINDS = ("trap", "trian")
 DATASETS = ("voronoi60", "grid4x4")
 
 
@@ -49,12 +58,24 @@ class _ReferencePagedRStarTree(PagedRStarTree):
     """Dispatches to the PR 1 pure-Python R*-tree tracer."""
 
 
+class _ReferencePagedTrapTree(PagedTrapTree):
+    """Dispatches to the per-point trap-tree reference tracer."""
+
+
+class _ReferencePagedTrianTree(PagedTrianTree):
+    """Dispatches to the per-point trian-tree reference tracer."""
+
+
 register_tracer(_ReferencePagedDTree, _trace_batch_dtree_reference)
 register_tracer(_ReferencePagedRStarTree, _trace_batch_rstar_reference)
+register_tracer(_ReferencePagedTrapTree, _trace_batch_trap_reference)
+register_tracer(_ReferencePagedTrianTree, _trace_batch_trian_reference)
 
 _REFERENCE_CLASS = {
     "dtree": _ReferencePagedDTree,
     "rstar": _ReferencePagedRStarTree,
+    "trap": _ReferencePagedTrapTree,
+    "trian": _ReferencePagedTrianTree,
 }
 
 
@@ -82,11 +103,26 @@ def cells(dataset):
     return out
 
 
-def _query_points(subdivision, kind, n=200, seed=13):
+def _accepts(paged, point):
+    try:
+        paged.trace(point)
+    except QueryError:
+        return False
+    return True
+
+
+def _query_points(subdivision, kind, paged=None, n=200, seed=13):
     points = random_points_in(subdivision, n, seed=seed)
-    if kind in KERNEL_KINDS:
-        points += adversarial_points(subdivision)
-    return points
+    boundary = adversarial_points(subdivision)
+    if kind in REJECTING_KINDS and paged is not None:
+        # Keep only the boundary points the scalar path accepts; the
+        # rejected ones are covered by TestErrorParity.
+        boundary = [p for p in boundary if _accepts(paged, p)]
+    return points + boundary
+
+
+def _rejected_points(subdivision, paged):
+    return [p for p in adversarial_points(subdivision) if not _accepts(paged, p)]
 
 
 def _assert_traces_equal(got, want):
@@ -100,7 +136,7 @@ class TestTracerParity:
     def test_batched_trace_matches_per_point_trace(self, dataset, cells, kind):
         _, subdivision = dataset
         paged, _ = cells[kind]
-        points = _query_points(subdivision, kind)
+        points = _query_points(subdivision, kind, paged)
         _assert_traces_equal(
             batched_trace(paged, points),
             _trace_batch_generic(paged, points),
@@ -110,7 +146,7 @@ class TestTracerParity:
     def test_kernel_tracer_matches_reference_tracer(self, dataset, cells, kind):
         _, subdivision = dataset
         paged, _ = cells[kind]
-        points = _query_points(subdivision, kind)
+        points = _query_points(subdivision, kind, paged)
         _assert_traces_equal(
             batched_trace(paged, points),
             batched_trace(_as_reference(paged, kind), points),
@@ -154,10 +190,8 @@ class TestWorkloadParity:
     def test_results_are_array_exact(self, dataset, cells, kind):
         _, subdivision = dataset
         paged, params = cells[kind]
-        points = _query_points(subdivision, kind)
-        reference_paged = (
-            _as_reference(paged, kind) if kind in KERNEL_KINDS else paged
-        )
+        points = _query_points(subdivision, kind, paged)
+        reference_paged = _as_reference(paged, kind)
         got = evaluate_workload(
             paged, subdivision.region_ids, params, points, seed=3
         )
@@ -193,7 +227,7 @@ class TestObservabilityInertness:
 
         _, subdivision = dataset
         paged, params = cells[kind]
-        points = _query_points(subdivision, kind)
+        points = _query_points(subdivision, kind, paged)
         baseline = evaluate_workload(
             paged, subdivision.region_ids, params, points, seed=3
         )
@@ -223,7 +257,7 @@ class TestObservabilityInertness:
 
         _, subdivision = dataset
         paged, params = cells[kind]
-        points = _query_points(subdivision, kind)
+        points = _query_points(subdivision, kind, paged)
         region_ids = subdivision.region_ids
         baseline = evaluate_workload(
             paged, region_ids, params, points, seed=5
@@ -234,3 +268,73 @@ class TestObservabilityInertness:
             ).summary(region_ids, params)
         for field in baseline.__slots__:
             assert getattr(collected, field) == getattr(baseline, field), field
+
+
+class TestErrorParity:
+    """Boundary points the scalar tracer rejects must be rejected with
+    the *identical* ``QueryError`` message by the batched kernel path —
+    including inside a mixed batch, where the earliest failing point in
+    input order wins."""
+
+    @pytest.mark.parametrize("kind", REJECTING_KINDS)
+    def test_rejected_points_raise_identical_errors(self, dataset, cells, kind):
+        _, subdivision = dataset
+        paged, _ = cells[kind]
+        rejected = _rejected_points(subdivision, paged)
+        if not rejected:
+            pytest.skip("no rejected boundary points on this dataset")
+        for point in rejected[:8]:
+            with pytest.raises(QueryError) as scalar_err:
+                paged.trace(point)
+            with pytest.raises(QueryError) as batch_err:
+                batched_trace(paged, [point])
+            assert str(batch_err.value) == str(scalar_err.value)
+
+    @pytest.mark.parametrize("kind", REJECTING_KINDS)
+    def test_mixed_batch_reports_first_failing_point(self, dataset, cells, kind):
+        _, subdivision = dataset
+        paged, _ = cells[kind]
+        rejected = _rejected_points(subdivision, paged)
+        if not rejected:
+            pytest.skip("no rejected boundary points on this dataset")
+        good = random_points_in(subdivision, 20, seed=23)
+        with pytest.raises(QueryError) as scalar_err:
+            paged.trace(rejected[0])
+        batch = good[:10] + [rejected[0]] + good[10:] + rejected[1:]
+        with pytest.raises(QueryError) as batch_err:
+            batched_trace(paged, batch)
+        assert str(batch_err.value) == str(scalar_err.value)
+
+
+class TestTraceObservability:
+    """The kernel tracers publish per-descent counters and
+    frontier-width histograms mirroring the D-tree instrumentation
+    (inertness of these stats is covered by
+    :class:`TestObservabilityInertness` above)."""
+
+    COUNTERS = {
+        "dtree": ("trace.dtree.levels",),
+        "trap": ("trace.trap.levels",),
+        "trian": ("trace.trian.levels",),
+    }
+    HISTOGRAMS = {
+        "dtree": ("trace.dtree.frontier_width",),
+        "trap": ("trace.trap.frontier_width",),
+        "trian": ("trace.trian.frontier_width", "trace.trian.scan_width"),
+    }
+
+    @pytest.mark.parametrize("kind", sorted(COUNTERS))
+    def test_descent_stats_are_published(self, dataset, cells, kind):
+        from repro.obs import collecting
+
+        _, subdivision = dataset
+        paged, _ = cells[kind]
+        points = _query_points(subdivision, kind, paged)
+        with collecting() as col:
+            batched_trace(paged, points)
+        for name in self.COUNTERS[kind]:
+            assert col.counters[name] > 0, name
+        for name in self.HISTOGRAMS[kind]:
+            hist = col.histograms[name]
+            assert hist.count > 0, name
+            assert hist.total > 0, name

@@ -1,0 +1,145 @@
+"""Property-based parity of the compiled trap/trian tracers.
+
+The flattened SoA tracers (:mod:`repro.engine.trace`) promise *bit-for-
+bit* agreement with the per-point scalar paths — answers, last packets,
+§4.4 packet charging **and** errors.  Hypothesis drives that contract
+with adversarial probes: points exactly on region edges and vertices,
+points sharing an x-coordinate with a trapezoidal-map x-node (the
+shear/nudge code path), and points inside degenerate slivers a few ulps
+off an edge.  Whatever the scalar tracer does — answer or raise — the
+batched tracer must do identically.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.broadcast.params import SystemParameters
+from repro.datasets.catalog import SERVICE_AREA
+from repro.datasets.generators import uniform_points
+from repro.engine import batched_trace
+from repro.engine.trace import _trace_batch_generic
+from repro.errors import QueryError
+from repro.geometry.point import Point
+from repro.pointloc.kirkpatrick import PagedTrianTree, TrianTree
+from repro.pointloc.trapezoidal import PagedTrapTree, TrapTree
+from repro.tessellation.grid import grid_subdivision
+from repro.tessellation.voronoi import voronoi_subdivision
+
+# Pre-built pools (hypothesis draws indexes into them; building a
+# Voronoi diagram or a Kirkpatrick hierarchy per example would dominate
+# the runtime).
+_POOL = {}
+
+
+def _subdivision(pool_key):
+    if pool_key not in _POOL:
+        kind, seed, n = pool_key
+        if kind == "voronoi":
+            sites = uniform_points(n, seed=seed, service_area=SERVICE_AREA)
+            _POOL[pool_key] = voronoi_subdivision(sites, SERVICE_AREA)
+        else:
+            rng = random.Random(seed)
+            _POOL[pool_key] = grid_subdivision(
+                rng.randint(1, 5), rng.randint(2, 5)
+            )
+    return _POOL[pool_key]
+
+
+_PAGED = {}
+
+
+def _paged(pool_key, family, cap):
+    cache_key = (pool_key, family, cap)
+    if cache_key not in _PAGED:
+        sub = _subdivision(pool_key)
+        params = SystemParameters.for_index(family, cap)
+        if family == "trap":
+            paged = PagedTrapTree(TrapTree(sub, seed=1), params)
+        else:
+            paged = PagedTrianTree(TrianTree(sub), params)
+        _PAGED[cache_key] = paged
+    return _PAGED[cache_key]
+
+
+subdivision_keys = st.one_of(
+    st.tuples(st.just("voronoi"), st.integers(0, 2), st.sampled_from([8, 17])),
+    st.tuples(st.just("grid"), st.integers(0, 3), st.just(0)),
+)
+unit = st.floats(min_value=0.001, max_value=0.999, allow_nan=False)
+
+#: One probe spec: (kind, region pick, vertex pick, edge parameter,
+#: free coordinates, sliver offset).  Materialized against a concrete
+#: subdivision by :func:`_materialize`.
+probe_specs = st.tuples(
+    st.sampled_from(["interior", "vertex", "edge", "xline", "sliver"]),
+    st.integers(0, 10**6),
+    st.integers(0, 10**6),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    unit,
+    unit,
+    st.floats(min_value=1e-12, max_value=1e-7, allow_nan=False),
+)
+
+
+def _materialize(sub, spec):
+    """Turn a probe spec into a concrete (often adversarial) point."""
+    kind, i, j, t, u, v, eps = spec
+    region = sub.regions[i % len(sub.regions)]
+    vs = region.polygon.vertices
+    a = vs[j % len(vs)]
+    b = vs[(j + 1) % len(vs)]
+    if kind == "interior":
+        return Point(u, v)
+    if kind == "vertex":
+        return a  # exactly on a region vertex
+    if kind == "edge":
+        return Point(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y))
+    if kind == "xline":
+        # Same x as a segment endpoint: exercises the trap-tree x-node
+        # comparisons (and the shear that breaks the tie).
+        return Point(a.x, v)
+    # "sliver": a few ulps off an edge along its left normal — a
+    # degenerate sliver between the edge and the probe.
+    nx, ny = -(b.y - a.y), b.x - a.x
+    norm = math.hypot(nx, ny) or 1.0
+    return Point(
+        a.x + t * (b.x - a.x) + eps * nx / norm,
+        a.y + t * (b.y - a.y) + eps * ny / norm,
+    )
+
+
+def _assert_parity(paged, points):
+    """Batched tracer == per-point tracer: same arrays or same error."""
+    try:
+        want = _trace_batch_generic(paged, points)
+    except QueryError as err:
+        with pytest.raises(QueryError) as got:
+            batched_trace(paged, points)
+        assert str(got.value) == str(err)
+        return
+    got = batched_trace(paged, points)
+    assert got.region_ids.tolist() == want.region_ids.tolist()
+    assert got.last_packet.tolist() == want.last_packet.tolist()
+    assert got.tuning_time.tolist() == want.tuning_time.tolist()
+
+
+class TestCompiledTracerParity:
+    @given(subdivision_keys, st.lists(probe_specs, min_size=1, max_size=6),
+           st.sampled_from([64, 256]))
+    @settings(max_examples=60, deadline=None)
+    def test_trap(self, key, specs, cap):
+        sub = _subdivision(key)
+        paged = _paged(key, "trap", cap)
+        _assert_parity(paged, [_materialize(sub, s) for s in specs])
+
+    @given(subdivision_keys, st.lists(probe_specs, min_size=1, max_size=6),
+           st.sampled_from([64, 256]))
+    @settings(max_examples=60, deadline=None)
+    def test_trian(self, key, specs, cap):
+        sub = _subdivision(key)
+        paged = _paged(key, "trian", cap)
+        _assert_parity(paged, [_materialize(sub, s) for s in specs])
