@@ -24,6 +24,7 @@ import json
 import pathlib
 import platform
 import statistics
+import subprocess
 import time
 
 import numpy as np
@@ -77,6 +78,40 @@ def record_ratio(suite, case, ratio):
     ``median_ms`` cases.
     """
     _RATIOS.setdefault(suite, {})[case] = round(ratio, 4)
+
+
+def resolve_git_sha(repo_root=REPO_ROOT, _run=None):
+    """HEAD's sha, with a ``-dirty`` suffix when the working tree has
+    uncommitted changes, or ``None`` outside a git checkout.
+
+    A bare sha would attribute benchmark history entries produced from a
+    dirty tree to the commit they were *not* measured at; the marker keeps
+    the trajectory honest.  *_run* is the subprocess runner (injectable
+    for tests).
+    """
+    run = _run or subprocess.run
+    try:
+        sha = run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+        if not sha:
+            return None
+        status = run(
+            ["git", "status", "--porcelain"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        return None  # not a git checkout / git unavailable
+    return f"{sha}-dirty" if status else sha
 
 
 def _metadata():

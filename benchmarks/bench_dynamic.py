@@ -1,0 +1,75 @@
+"""E12 — update churn: incremental index maintenance vs full rebuild.
+
+Headline acceptance number, asserted on every run (full or smoke): at
+low churn (<= 10% of regions changed per cycle) the R*-tree's
+incremental ``apply_updates`` (delete + insert through the R*
+machinery) is cheaper than rebuilding the logical tree from scratch.
+Every client answer inside the cell is checked against the brute-force
+oracle of the subdivision at the answer's stamped version, so the
+timings come with exactness guaranteed (see ``run_dynamic_cell``).
+
+CI smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the dataset and cycle
+count so the contract is exercised on every push.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_dynamic.py --benchmark-only
+"""
+
+import os
+
+import pytest
+
+from repro.datasets.catalog import uniform_dataset
+from repro.experiments.extensions import run_dynamic_cell
+
+from _recorder import record_case, record_ratio, run_recorded
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+N_REGIONS = 80 if SMOKE else 200
+CYCLES = 2 if SMOKE else 4
+QUERIES = 10 if SMOKE else 40
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return uniform_dataset(n=N_REGIONS, seed=42)
+
+
+@pytest.mark.parametrize("kind", ["dtree", "trian", "trap", "rstar"])
+def bench_e12_update_churn(benchmark, dataset, kind):
+    cell = run_recorded(
+        benchmark,
+        lambda: run_dynamic_cell(
+            dataset,
+            kind,
+            packet_capacity=256,
+            cycles=CYCLES,
+            moves_per_cycle=1,
+            queries_per_cycle=QUERIES,
+            seed=7,
+        ),
+        "dynamic",
+        f"e12-{kind}-{N_REGIONS}",
+    )
+    print()
+    print(f"  {kind}: {cell}")
+    record_case("dynamic", f"e12-{kind}-{N_REGIONS}-maintain", cell["maintain_s"] * 1000.0)
+    record_case("dynamic", f"e12-{kind}-{N_REGIONS}-rebuild", cell["rebuild_s"] * 1000.0)
+    record_ratio("dynamic", f"e12-{kind}-{N_REGIONS}-speedup", cell["maintain_speedup_x"])
+    record_ratio("dynamic", f"e12-{kind}-{N_REGIONS}-churn", cell["churn_fraction"])
+    # One moved site per cycle churns the moved cell plus its Voronoi
+    # neighbours — low-churn territory by construction.
+    assert cell["churn_fraction"] <= 0.10 or SMOKE
+    assert cell["final_version"] == CYCLES
+    if kind == "rstar":
+        # The headline gate: incremental maintenance must beat the
+        # from-scratch rebuild at low churn.
+        assert cell["incremental_applies"] == CYCLES
+        assert cell["full_rebuilds"] == 0
+        assert cell["maintain_s"] < cell["rebuild_s"], (
+            f"incremental R* maintenance ({cell['maintain_s']:.4f}s) not "
+            f"cheaper than rebuild ({cell['rebuild_s']:.4f}s) at "
+            f"{cell['churn_fraction']:.1%} churn"
+        )

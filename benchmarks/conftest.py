@@ -13,14 +13,13 @@ why the recorder cannot live here).
 """
 
 import datetime
-import subprocess
 
 import pytest
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentMatrix
 
-from _recorder import REPO_ROOT, flush_records
+from _recorder import flush_records, resolve_git_sha
 
 
 @pytest.fixture(scope="session")
@@ -35,26 +34,9 @@ def run_once(benchmark, fn):
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
 
 
-def _git_sha():
-    try:
-        return (
-            subprocess.run(
-                ["git", "rev-parse", "HEAD"],
-                cwd=REPO_ROOT,
-                capture_output=True,
-                text=True,
-                timeout=10,
-                check=True,
-            ).stdout.strip()
-            or None
-        )
-    except Exception:
-        return None  # not a git checkout / git unavailable
-
-
 def pytest_sessionfinish(session, exitstatus):
     now = datetime.datetime.now(datetime.timezone.utc)
     flush_records(
-        git_sha=_git_sha(),
+        git_sha=resolve_git_sha(),
         timestamp=now.isoformat(timespec="seconds"),
     )

@@ -32,6 +32,7 @@ from repro.errors import (
     IndexBuildError,
     PagingError,
     QueryError,
+    UpdateError,
     BroadcastError,
 )
 from repro.geometry import Point, Segment, Polygon, Polyline, Rect
@@ -68,7 +69,7 @@ from repro.broadcast import (
 
 # Single source of truth — pyproject.toml reads it via
 # ``[tool.setuptools.dynamic] version = {attr = "repro.__version__"}``.
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 #: Engine names resolved lazily (PEP 562): ``repro.engine`` imports the
 #: index families, which import the broadcast substrate, so an eager
@@ -105,6 +106,19 @@ _SIMULATION_EXPORTS = (
     "simulate_workload",
 )
 
+#: Dynamic-broadcast names, lazy for the same reason (the maintainers
+#: import the index families through the engine registry).
+_DYNAMIC_EXPORTS = (
+    "DynamicAccessResult",
+    "DynamicBroadcastClient",
+    "DynamicBroadcastServer",
+    "RegionUpdate",
+    "UpdateBatch",
+    "diff_subdivisions",
+    "maintainer_for",
+    "register_maintainer",
+)
+
 
 def __getattr__(name: str):
     if name in _ENGINE_EXPORTS:
@@ -115,6 +129,10 @@ def __getattr__(name: str):
         from repro import simulation
 
         return getattr(simulation, name)
+    if name in _DYNAMIC_EXPORTS:
+        from repro import dynamic
+
+        return getattr(dynamic, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -183,5 +201,14 @@ __all__ = [
     "make_error_model",
     "recovery_policy",
     "simulate_workload",
+    "DynamicAccessResult",
+    "DynamicBroadcastClient",
+    "DynamicBroadcastServer",
+    "RegionUpdate",
+    "UpdateBatch",
+    "diff_subdivisions",
+    "maintainer_for",
+    "register_maintainer",
+    "UpdateError",
     "__version__",
 ]

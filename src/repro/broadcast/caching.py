@@ -29,16 +29,31 @@ from repro.broadcast.packets import PagedIndex
 
 
 class PacketCache:
-    """A fixed-capacity LRU set of packet ids."""
+    """A fixed-capacity LRU set of packet ids, keyed by index version.
 
-    def __init__(self, capacity: int) -> None:
+    Entries are keyed ``(version, packet_id)``: a packet cached under one
+    index version can never answer for another — the staleness bug this
+    fixes served pre-update search-path packets after the broadcast index
+    changed.  :meth:`set_version` is the invalidation hook the dynamic
+    broadcast layer calls when the on-air version bumps; stale-version
+    entries age out through the ordinary LRU eviction.
+    """
+
+    def __init__(self, capacity: int, version: int = 0) -> None:
         if capacity < 0:
             raise BroadcastError(f"cache capacity must be >= 0, got {capacity}")
         self.capacity = capacity
-        self._entries: "OrderedDict[int, None]" = OrderedDict()
+        #: Index version lookups and inserts are keyed under.
+        self.version = version
+        self._entries: "OrderedDict[tuple, None]" = OrderedDict()
+
+    def set_version(self, version: int) -> None:
+        """Re-key the cache to *version* — entries cached under other
+        versions become unreachable (and are LRU-evicted over time)."""
+        self.version = version
 
     def __contains__(self, packet_id: int) -> bool:
-        hit = packet_id in self._entries
+        hit = (self.version, packet_id) in self._entries
         col = active_collector()
         if col is not None:
             col.count("cache.hit" if hit else "cache.miss")
@@ -51,12 +66,13 @@ class PacketCache:
         """Record a use (insert or refresh), evicting LRU on overflow."""
         if self.capacity == 0:
             return
-        if packet_id in self._entries:
-            self._entries.move_to_end(packet_id)
+        key = (self.version, packet_id)
+        if key in self._entries:
+            self._entries.move_to_end(key)
             return
         if len(self._entries) >= self.capacity:
             self._entries.popitem(last=False)
-        self._entries[packet_id] = None
+        self._entries[key] = None
 
 
 class CachingBroadcastClient:
@@ -73,6 +89,12 @@ class CachingBroadcastClient:
     def __init__(
         self, paged_index: PagedIndex, schedule, cache_packets: int = 8
     ) -> None:
+        self.cache: Optional[PacketCache] = None
+        self._bind(paged_index, schedule, cache_packets)
+
+    def _bind(self, paged_index, schedule, cache_packets: int) -> None:
+        """Attach to one paged index + timeline, preserving any existing
+        cache object (re-keyed to the timeline's version)."""
         from repro.broadcast.plan import BroadcastPlan
 
         self.paged_index = paged_index
@@ -92,9 +114,23 @@ class CachingBroadcastClient:
                 "schedule was built for a different index size"
             )
         if self._hopping is not None:
+            if self.cache is not None:
+                self._hopping.cache = self.cache
             self.cache = self._hopping.cache
-        else:
+        elif self.cache is None:
             self.cache = PacketCache(cache_packets)
+        self.cache.set_version(getattr(schedule, "version", 0))
+
+    def rebind(self, paged_index: PagedIndex, schedule) -> None:
+        """Point the client at a new paged index + timeline (an index
+        update went on the air).
+
+        The session's cache object survives, but it is re-keyed to the
+        new timeline's version: packets cached under the old index can
+        never answer a search over the new one — the staleness bug that
+        motivated version-keyed caches.
+        """
+        self._bind(paged_index, schedule, self.cache.capacity)
 
     def query(self, point: Point, issue_time: float) -> AccessResult:
         """Run the access protocol, charging only cache misses."""

@@ -149,7 +149,9 @@ class ChannelHoppingClient:
         self.plan = plan
         self.start_channel = start_channel
         self.cache = (
-            PacketCache(cache_packets) if cache_packets is not None else None
+            PacketCache(cache_packets, version=getattr(plan, "version", 0))
+            if cache_packets is not None
+            else None
         )
 
     @property

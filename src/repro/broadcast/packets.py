@@ -19,7 +19,7 @@ from repro.geometry.point import Point
 class Packet:
     """One fixed-capacity broadcast packet holding index fragments."""
 
-    __slots__ = ("packet_id", "capacity", "used", "contents")
+    __slots__ = ("packet_id", "capacity", "used", "contents", "version")
 
     def __init__(self, packet_id: int, capacity: int) -> None:
         self.packet_id = packet_id
@@ -28,6 +28,10 @@ class Packet:
         #: Human-readable descriptions of the fragments in this packet
         #: (node ids / node parts) — diagnostics only.
         self.contents: List[str] = []
+        #: Index version this packet belongs to (the dynamic-broadcast
+        #: wire stamp; see :func:`stamp_version`).  Static indexes stay
+        #: at 0 for their whole life.
+        self.version = 0
 
     def __repr__(self) -> str:
         return f"Packet(id={self.packet_id}, used={self.used}/{self.capacity})"
@@ -104,6 +108,21 @@ class PagedIndex(Protocol):
     def trace(self, point: Point) -> QueryTrace:
         """Answer a point query, recording packet accesses."""
         ...
+
+
+def stamp_version(paged_index: PagedIndex, version: int) -> None:
+    """Stamp *version* into every packet of *paged_index*.
+
+    The dynamic-broadcast server calls this whenever it swaps a new index
+    generation onto the air: a client that reads an index packet whose
+    stamp differs from the version it started its search under knows the
+    index changed mid-access and must recover (retry-next-cycle is always
+    sound — see :mod:`repro.dynamic`).
+    """
+    if version < 0:
+        raise PagingError(f"index version must be >= 0, got {version}")
+    for packet in paged_index.packets:
+        packet.version = version
 
 
 def dedupe_consecutive(sequence: Sequence[int]) -> List[int]:

@@ -209,6 +209,7 @@ class BroadcastPlan:
         m: Optional[int] = None,
         hop_cost: float = 1.0,
         centroids: Optional[Centroids] = None,
+        version: int = 0,
     ) -> None:
         if not region_ids:
             raise BroadcastError("plan needs at least one data bucket")
@@ -235,12 +236,17 @@ class BroadcastPlan:
             if isinstance(allocation, str)
             else allocation
         )
+        if version < 0:
+            raise BroadcastError(f"version must be >= 0, got {version}")
         self.params = params
         self.index_packet_count = index_packet_count
         self.region_ids = list(region_ids)
         self.allocation = strategy.name
         self.index_placement = index_placement
         self.hop_cost = hop_cost
+        #: Index version every channel of this plan airs (see
+        #: :class:`~repro.broadcast.schedule.BroadcastSchedule`).
+        self.version = version
 
         shards = strategy.shard(self.region_ids, channels, centroids)
         empty = [c for c, shard in enumerate(shards) if not shard]
@@ -265,6 +271,7 @@ class BroadcastPlan:
                     region_ids=shard,
                     params=params,
                     m=m,
+                    version=version,
                 ),
                 chunk,
             )

@@ -35,11 +35,16 @@ def expected_latency_formula(index_packets: int, data_packets: int, m: int) -> f
 
 
 def optimal_m(index_packets: int, data_packets: int) -> int:
-    """Best integer replication factor for the (1, m) scheme."""
-    if index_packets <= 0:
-        return 1
+    """Best integer replication factor for the (1, m) scheme.
+
+    The data check comes first: a broadcast with no data is an error even
+    when there is no index either (``optimal_m(0, 0)`` used to fall into
+    the index-free early return and answer 1).
+    """
     if data_packets <= 0:
         raise BroadcastError("no data to broadcast")
+    if index_packets <= 0:
+        return 1
     m_star = math.sqrt(data_packets / index_packets)
     candidates = {max(1, math.floor(m_star)), math.ceil(m_star), 1}
     return min(
@@ -62,12 +67,19 @@ class BroadcastSchedule:
         region_ids: Sequence[int],
         params: SystemParameters,
         m: int = None,
+        *,
+        version: int = 0,
     ) -> None:
         if not region_ids:
             raise BroadcastError("schedule needs at least one data bucket")
+        if version < 0:
+            raise BroadcastError(f"version must be >= 0, got {version}")
         self.params = params
         self.index_packet_count = index_packet_count
         self.region_ids = list(region_ids)
+        #: Index version this timeline airs (monotonically increasing in
+        #: the dynamic-broadcast service; 0 for static broadcasts).
+        self.version = version
         self.bucket_packets = params.data_packets_per_instance
         self.data_packet_count = self.bucket_packets * len(self.region_ids)
         if m is None:

@@ -250,6 +250,48 @@ def _cmd_mobility(args) -> int:
     return 0
 
 
+def _cmd_dynamic(args) -> int:
+    """Run the E12 update-churn experiment: region updates between
+    broadcast cycles, incremental maintenance vs full rebuild."""
+    from repro.datasets.catalog import uniform_dataset
+    from repro.engine import available_index_kinds
+    from repro.experiments.extensions import run_dynamic_cell
+
+    kinds = (
+        available_index_kinds() if args.index == "all" else [args.index]
+    )
+    dataset = uniform_dataset(n=args.regions, seed=args.seed)
+    print(
+        f"# {args.regions} regions, {args.capacity}B packets, "
+        f"{args.cycles} update cycles x {args.moves} moved sites, "
+        f"{args.queries or 40} queries/cycle, seed {args.seed}"
+    )
+    print(
+        f"{'index':<8} {'churn':>6} {'maintain':>10} {'rebuild':>10} "
+        f"{'speedup':>8}  {'inc/full':>8} {'wasted':>7}"
+    )
+    for kind in kinds:
+        cell = run_dynamic_cell(
+            dataset,
+            kind,
+            args.capacity,
+            cycles=args.cycles,
+            moves_per_cycle=args.moves,
+            queries_per_cycle=args.queries or 40,
+            seed=args.seed,
+        )
+        print(
+            f"{kind:<8} {cell['churn_fraction']:>6.1%} "
+            f"{cell['maintain_s'] * 1000:>8.1f}ms "
+            f"{cell['rebuild_s'] * 1000:>8.1f}ms "
+            f"{cell['maintain_speedup_x']:>7.2f}x  "
+            f"{cell['incremental_applies']:.0f}/"
+            f"{cell['full_rebuilds']:.0f}".ljust(8)
+            + f" {cell['mean_wasted_tuning']:>6.2f}p"
+        )
+    return 0
+
+
 def _cmd_run(args) -> int:
     """Regenerate figures (or the ablation suite)."""
     if args.target == "ablations":
@@ -670,6 +712,41 @@ def _build_parser() -> argparse.ArgumentParser:
         "--capacity", type=int, default=256, help="packet capacity, bytes"
     )
     broadcast.set_defaults(func=_cmd_broadcast)
+
+    dynamic = sub.add_parser(
+        "dynamic",
+        parents=[common],
+        help="run update churn between broadcast cycles (E12): "
+        "incremental index maintenance vs full rebuild",
+    )
+    dynamic.add_argument(
+        "--index",
+        default="all",
+        help="one registered index kind, or 'all' (default)",
+    )
+    dynamic.add_argument("--regions", type=int, default=200)
+    dynamic.add_argument(
+        "--capacity", type=int, default=256, help="packet capacity, bytes"
+    )
+    dynamic.add_argument(
+        "--cycles", type=int, default=4, help="update cycles to run"
+    )
+    dynamic.add_argument(
+        "--moves",
+        type=int,
+        default=1,
+        help="Voronoi sites moved per cycle (each move reshapes the "
+        "moved cell and its neighbours)",
+    )
+    dynamic.add_argument(
+        "--queries",
+        type=int,
+        default=None,
+        help="client queries per cycle (default 40), answers checked "
+        "against the stamped version's oracle",
+    )
+    dynamic.add_argument("--seed", type=int, default=7)
+    dynamic.set_defaults(func=_cmd_dynamic)
     return parser
 
 

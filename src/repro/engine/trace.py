@@ -104,6 +104,51 @@ def register_tracer(paged_cls: type, tracer: Tracer) -> None:
     TRACER_REGISTRY[paged_cls] = tracer
 
 
+# -- compiled-cache generations ----------------------------------------------
+#
+# Every ``_compile_*`` memoizes its compiled SoA form on the paged index.
+# The compiled form is a *snapshot*: if the underlying structure mutates
+# (the dynamic-update subsystem rebuilds subtrees in place), a cached
+# snapshot would keep answering with pre-mutation geometry.  Caches are
+# therefore keyed by a structure generation: whoever mutates a paged
+# index (or the logical tree under it) calls
+# :func:`bump_structure_generation`, and the next trace recompiles.
+
+
+def structure_generation(paged) -> int:
+    """Current structure generation of *paged* (0 until first mutation)."""
+    return getattr(paged, "_structure_generation", 0)
+
+
+def bump_structure_generation(paged) -> int:
+    """Invalidate every compiled cache memoized on *paged*.
+
+    Returns the new generation.  Cheap: caches are dropped lazily, at
+    the next compile-cache lookup.
+    """
+    generation = structure_generation(paged) + 1
+    paged._structure_generation = generation
+    return generation
+
+
+def _cached_compiled(paged, attr: str, missing):
+    """The memoized compiled form under *attr*, or *missing* when absent
+    or compiled at a stale structure generation."""
+    cached = getattr(paged, attr, missing)
+    if cached is missing:
+        return missing
+    if getattr(paged, attr + "_gen", 0) != structure_generation(paged):
+        return missing
+    return cached
+
+
+def _store_compiled(paged, attr: str, value):
+    """Memoize *value* under *attr*, stamped with the current generation."""
+    setattr(paged, attr, value)
+    setattr(paged, attr + "_gen", structure_generation(paged))
+    return value
+
+
 def _load_builtin_tracers() -> None:
     # Imported lazily: the paged-index modules import the broadcast layer,
     # which would cycle if pulled in while this package loads.
@@ -222,7 +267,7 @@ def _compile_dtree(paged) -> _CompiledDTree:
     span moves backwards; the tracer defers to the reference
     implementation to raise the scalar path's exact error.
     """
-    compiled = getattr(paged, "_compiled_dtree", None)
+    compiled = _cached_compiled(paged, "_compiled_dtree", None)
     if compiled is not None:
         return compiled
     from repro.core.dtree import DTreeNode
@@ -280,7 +325,7 @@ def _compile_dtree(paged) -> _CompiledDTree:
     ct.seg_ax, ct.seg_ay, ct.seg_bx, ct.seg_by = (
         np.concatenate(pool) if pool else empty for pool in segs
     )
-    paged._compiled_dtree = ct
+    _store_compiled(paged, "_compiled_dtree", ct)
     return ct
 
 
@@ -503,7 +548,7 @@ class _CompiledRStarNode:
 def _compile_rstar(paged) -> "_CompiledRStarNode":
     """Compile the paged R*-tree (node MBR arrays, shape-packet tuples,
     compiled leaf polygons), built once and cached on the paged tree."""
-    compiled = getattr(paged, "_compiled_rstar", None)
+    compiled = _cached_compiled(paged, "_compiled_rstar", None)
     if compiled is not None:
         return compiled
     subdivision = paged.tree.subdivision
@@ -536,7 +581,7 @@ def _compile_rstar(paged) -> "_CompiledRStarNode":
         return cn
 
     compiled = convert(paged.tree.root)
-    paged._compiled_rstar = compiled
+    _store_compiled(paged, "_compiled_rstar", compiled)
     return compiled
 
 
@@ -648,7 +693,7 @@ def _compile_trap(paged):
     None (cached) when the invariants do not hold, sending the tracer
     to the per-point reference path.
     """
-    compiled = getattr(paged, "_compiled_trap", _UNCOMPILED)
+    compiled = _cached_compiled(paged, "_compiled_trap", _UNCOMPILED)
     if compiled is not _UNCOMPILED:
         return compiled
     from repro.pointloc.trapezoidal import _Leaf, _XNode
@@ -717,7 +762,7 @@ def _compile_trap(paged):
         ct.packet = packet
         ct.region = region
         compiled = ct
-    paged._compiled_trap = compiled
+    _store_compiled(paged, "_compiled_trap", compiled)
     return compiled
 
 
@@ -891,7 +936,7 @@ def _compile_trian(paged):
     level.  Returns None (cached) otherwise, deferring to the
     per-point reference path.
     """
-    compiled = getattr(paged, "_compiled_trian", _UNCOMPILED)
+    compiled = _cached_compiled(paged, "_compiled_trian", _UNCOMPILED)
     if compiled is not _UNCOMPILED:
         return compiled
     order = paged._order
@@ -968,7 +1013,7 @@ def _compile_trian(paged):
         ct.ctri_cx = tri_cx[ct.child_flat]
         ct.ctri_cy = tri_cy[ct.child_flat]
         compiled = ct
-    paged._compiled_trian = compiled
+    _store_compiled(paged, "_compiled_trian", compiled)
     return compiled
 
 

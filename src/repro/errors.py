@@ -33,5 +33,9 @@ class QueryError(ReproError):
     service area)."""
 
 
+class UpdateError(ReproError):
+    """Invalid region-update batch or index-maintenance failure."""
+
+
 class BroadcastError(ReproError):
     """Invalid broadcast schedule configuration or simulation failure."""

@@ -52,6 +52,7 @@ from repro.engine.trace import (
     _compile_rstar,
     _compile_trap,
     _compile_trian,
+    _store_compiled,
 )
 
 #: Byte alignment of every array inside the arena block.
@@ -212,7 +213,7 @@ def _attach_rstar(paged, views: Dict[str, np.ndarray], meta: dict) -> None:
             cn.polygons = None
         return cn
 
-    paged._compiled_rstar = build()
+    _store_compiled(paged, "_compiled_rstar", build())
 
 
 def export_compiled_state(paged, engine) -> Tuple[Dict[str, np.ndarray], dict]:
@@ -249,33 +250,54 @@ def export_compiled_state(paged, engine) -> Tuple[Dict[str, np.ndarray], dict]:
     if getattr(engine, "_vectorized", False):
         arrays["schedule.segment_starts"] = engine._segment_starts
         arrays["schedule.bucket_position"] = engine._bucket_position
+    meta["index_version"] = _index_version(paged)
     return arrays, meta
+
+
+def _index_version(paged) -> int:
+    """Version stamp of *paged*'s packets (0 for static indexes)."""
+    packets = getattr(paged, "packets", None)
+    return int(packets[0].version) if packets else 0
 
 
 def attach_compiled_state(
     paged, views: Dict[str, np.ndarray], meta: dict, engine=None
 ) -> None:
     """Install shared-memory views as *paged*'s compiled caches (and the
-    engine's schedule arrays), so the worker never recompiles."""
+    engine's schedule arrays), so the worker never recompiles.
+
+    The arena is keyed by index version: attaching compiled state that
+    was exported for a different version of the index (the parent
+    applied updates after exporting) would silently serve stale answers,
+    so a mismatch is an error.
+    """
+    exported = meta.get("index_version", 0)
+    current = _index_version(paged)
+    if exported != current:
+        raise ReproError(
+            f"arena holds compiled state for index version {exported} but "
+            f"the paged index is at version {current} — re-export after "
+            "applying updates"
+        )
     family = meta.get("family")
     if family == "dtree":
         ct = _CompiledDTree()
         ct.root = meta["root"]
         for slot in _DTREE_SLOTS:
             setattr(ct, slot, views[f"dtree.{slot}"])
-        paged._compiled_dtree = ct
+        _store_compiled(paged, "_compiled_dtree", ct)
     elif family == "rstar":
         _attach_rstar(paged, views, meta)
     elif family == "trap":
         ct = _CompiledTrapTree()
         for slot in _TRAP_SLOTS:
             setattr(ct, slot, views[f"trap.{slot}"])
-        paged._compiled_trap = ct
+        _store_compiled(paged, "_compiled_trap", ct)
     elif family == "trian":
         ct = _CompiledTrianTree()
         for slot in _TRIAN_SLOTS:
             setattr(ct, slot, views[f"trian.{slot}"])
-        paged._compiled_trian = ct
+        _store_compiled(paged, "_compiled_trian", ct)
     if engine is not None and "schedule.segment_starts" in views:
         engine._segment_starts = views["schedule.segment_starts"]
         engine._bucket_position = views["schedule.bucket_position"]

@@ -40,7 +40,7 @@ class Polygon:
         if abs(_signed_area(cleaned)) <= EPS:
             raise GeometryError("polygon has (numerically) zero area")
         self.vertices: Tuple[Point, ...] = tuple(cleaned)
-        self._bbox = Rect.from_points(self.vertices)
+        self._bbox = (self.vertices, Rect.from_points(self.vertices))
         self._compiled = None
 
     def __repr__(self) -> str:
@@ -77,8 +77,18 @@ class Polygon:
 
     @property
     def bbox(self) -> Rect:
-        """Minimum bounding rectangle."""
-        return self._bbox
+        """Minimum bounding rectangle.
+
+        Keyed by ring identity, like :meth:`compiled`: replacing
+        ``vertices`` (the one structural mutation a Polygon admits)
+        recomputes the box, so bbox-gated predicates never answer from
+        the pre-mutation geometry.
+        """
+        ring, rect = self._bbox
+        if ring is not self.vertices:
+            rect = Rect.from_points(self.vertices)
+            self._bbox = (self.vertices, rect)
+        return rect
 
     @property
     def centroid(self) -> Point:
@@ -135,11 +145,16 @@ class Polygon:
         whose batched containment test matches :meth:`contains_point`
         bit for bit.
         """
-        if self._compiled is None:
+        cached = self._compiled
+        if cached is None or cached[0] is not self.vertices:
+            # Keyed by ring identity: replacing ``vertices`` (the only
+            # structural mutation a Polygon admits) must not keep serving
+            # the pre-mutation compiled form.
             from repro.geometry.kernels import CompiledPolygon
 
-            self._compiled = CompiledPolygon(self)
-        return self._compiled
+            cached = (self.vertices, CompiledPolygon(self))
+            self._compiled = cached
+        return cached[1]
 
     def classify_point(self, p: Point) -> int:
         """Classify *p* in one edge sweep: 2 interior, 1 boundary, 0 outside.
@@ -150,7 +165,7 @@ class Polygon:
         interior come from a single pass over the edges, so callers that
         need both (the subdivision locate oracle) scan each ring once.
         """
-        if not self._bbox.contains_point(p):
+        if not self.bbox.contains_point(p):
             return 0
         verts = self.vertices
         n = len(verts)
@@ -168,7 +183,7 @@ class Polygon:
 
     def contains_point(self, p: Point, include_boundary: bool = True) -> bool:
         """Ray-crossing containment test with explicit boundary handling."""
-        if not self._bbox.contains_point(p):
+        if not self.bbox.contains_point(p):
             return False
         verts = self.vertices
         n = len(verts)
@@ -192,7 +207,7 @@ class Polygon:
         corner lies inside), and crossing boundaries (an edge pair
         intersects).
         """
-        if not self._bbox.intersects(rect):
+        if not self.bbox.intersects(rect):
             return False
         if any(rect.contains_point(v) for v in self.vertices):
             return True
@@ -242,22 +257,22 @@ class Polygon:
     @property
     def leftmost_x(self) -> float:
         """Leftmost x-coordinate — one of the four sort keys of §4.2."""
-        return self._bbox.min_x
+        return self.bbox.min_x
 
     @property
     def rightmost_x(self) -> float:
         """Rightmost x-coordinate — one of the four sort keys of §4.2."""
-        return self._bbox.max_x
+        return self.bbox.max_x
 
     @property
     def lowest_y(self) -> float:
         """Lowest y-coordinate — one of the four sort keys of §4.2."""
-        return self._bbox.min_y
+        return self.bbox.min_y
 
     @property
     def uppermost_y(self) -> float:
         """Uppermost y-coordinate — one of the four sort keys of §4.2."""
-        return self._bbox.max_y
+        return self.bbox.max_y
 
 
 def _signed_area(vertices: Sequence[Point]) -> float:

@@ -136,6 +136,99 @@ class RStarTree:
         self._reinserted_levels = set()
         self._insert_entry(RStarEntry(mbr, region_id=region_id), level=0)
 
+    # -- incremental maintenance -------------------------------------------
+
+    def delete(self, region_id: int, mbr: Optional[Rect] = None) -> None:
+        """Delete one region's leaf entry (R-tree Delete + CondenseTree).
+
+        *mbr* — the entry's MBR, when the caller still knows it — prunes
+        the leaf search to subtrees whose MBR covers it; without it every
+        subtree is searched.  Underfull nodes on the path are dissolved
+        and their entries reinserted at their original levels through the
+        ordinary R* insertion machinery (splits, forced reinsertion), so
+        the fill-factor and balance invariants survive any delete.
+
+        A pruned miss falls back to the unpruned search before declaring
+        the region absent: a tolerance-diffed update batch (see
+        :func:`repro.dynamic.diff_subdivisions`) leaves sub-threshold
+        vertex drift out of the batch, so the entry on the tree can sit
+        a few ulps outside the MBR the caller derived from the current
+        subdivision.
+        """
+        found = self._find_leaf(self.root, region_id, mbr, [])
+        if found is None and mbr is not None:
+            found = self._find_leaf(self.root, region_id, None, [])
+        if found is None:
+            raise IndexBuildError(f"region {region_id} not in the R*-tree")
+        leaf, path = found
+        leaf.entries = [e for e in leaf.entries if e.region_id != region_id]
+        self._condense(leaf, path)
+        while not self.root.is_leaf and len(self.root.entries) == 1:
+            child = self.root.entries[0].child
+            assert child is not None
+            self.root = child
+
+    def apply_updates(self, new_subdivision: Subdivision, batch) -> None:
+        """Maintain the tree incrementally across a region-update batch
+        (delete/reshape/insert of valid scopes; see
+        :class:`repro.dynamic.UpdateBatch`).
+
+        Deletes use the *old* subdivision's MBRs (the entries on the
+        tree), inserts the new one's; afterwards the tree indexes
+        *new_subdivision* exactly as if every update had arrived through
+        :meth:`insert`/:meth:`delete` individually.
+        """
+        old = self.subdivision
+        for rid in batch.removed_ids:
+            self.delete(rid, old.region(rid).polygon.bbox)
+        self.subdivision = new_subdivision
+        for rid in batch.added_ids:
+            self.insert(rid, new_subdivision.region(rid).polygon.bbox)
+
+    def _find_leaf(
+        self,
+        node: RStarNode,
+        region_id: int,
+        mbr: Optional[Rect],
+        path: List[RStarNode],
+    ) -> Optional[Tuple[RStarNode, List[RStarNode]]]:
+        """Leaf holding *region_id*'s entry plus its ancestor path."""
+        if node.is_leaf:
+            if any(e.region_id == region_id for e in node.entries):
+                return node, list(path)
+            return None
+        path.append(node)
+        for entry in node.entries:
+            if mbr is not None and not entry.mbr.contains_rect(mbr):
+                continue
+            assert entry.child is not None
+            found = self._find_leaf(entry.child, region_id, mbr, path)
+            if found is not None:
+                return found
+        path.pop()
+        return None
+
+    def _condense(self, node: RStarNode, path: List[RStarNode]) -> None:
+        """CondenseTree: dissolve underfull path nodes, reinsert orphans."""
+        eliminated: List[RStarNode] = []
+        child = node
+        for parent in reversed(path):
+            if len(child.entries) < self.min_entries:
+                parent.entries = [
+                    e for e in parent.entries if e.child is not child
+                ]
+                eliminated.append(child)
+            else:
+                self._refresh_parent_mbr(parent, child)
+            child = parent
+        # Reinsert orphaned entries at their original levels, deepest
+        # (leaf) first — each reinsert is a full R* insert, so splits and
+        # forced reinsertion apply as usual.
+        for orphan in eliminated:
+            for entry in orphan.entries:
+                self._reinserted_levels = set()
+                self._insert_entry(entry, level=orphan.level)
+
     # -- R* machinery ----------------------------------------------------------
 
     def _insert_entry(self, entry: RStarEntry, level: int) -> None:

@@ -147,11 +147,30 @@ class Subdivision:
         agrees with per-point :meth:`locate` everywhere, boundary
         tie-breaks included.
         """
-        if self._compiled is None:
+        key = self._compiled_key()
+        cached = self._compiled
+        if (
+            cached is None
+            or len(cached[0]) != len(key)
+            or any(a is not b for a, b in zip(cached[0], key))
+        ):
             from repro.geometry.kernels import CompiledSubdivision
 
-            self._compiled = CompiledSubdivision(self)
-        return self._compiled
+            self._compiled = (key, CompiledSubdivision(self))
+        return self._compiled[1]
+
+    def _compiled_key(self):
+        """Identity key of the geometry the compiled form snapshots.
+
+        Holding the polygon and ring references means a region whose
+        ``polygon`` — or whose polygon's ``vertices`` ring — was replaced
+        after compiling can never be served the pre-mutation compiled
+        subdivision: the identity comparison fails and :meth:`compiled`
+        rebuilds.
+        """
+        return tuple(
+            obj for r in self.regions for obj in (r.polygon, r.polygon.vertices)
+        )
 
     def locate_batch(self, points: Sequence[Point]):
         """Batched :meth:`locate`: ``int64`` region-id array, one per point."""

@@ -1,0 +1,72 @@
+"""Unit tests for the benchmark recorder's provenance stamping.
+
+The recorder lives next to the benchmarks (not in the package), so it
+is loaded straight from its file.
+"""
+
+import importlib.util
+import pathlib
+import subprocess
+
+_RECORDER_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "_recorder.py"
+)
+_spec = importlib.util.spec_from_file_location("_bench_recorder", _RECORDER_PATH)
+_recorder = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_recorder)
+
+resolve_git_sha = _recorder.resolve_git_sha
+
+SHA = "0123456789abcdef0123456789abcdef01234567"
+
+
+def _fake_run(rev_parse_out, status_out):
+    def run(cmd, **kwargs):
+        out = rev_parse_out if "rev-parse" in cmd else status_out
+        return subprocess.CompletedProcess(cmd, 0, stdout=out, stderr="")
+
+    return run
+
+
+class TestResolveGitSha:
+    def test_clean_tree_is_bare_sha(self):
+        run = _fake_run(SHA + "\n", "")
+        assert resolve_git_sha(_run=run) == SHA
+
+    def test_dirty_tree_gets_suffix(self):
+        run = _fake_run(SHA + "\n", " M src/repro/__init__.py\n")
+        assert resolve_git_sha(_run=run) == SHA + "-dirty"
+
+    def test_untracked_files_also_count_as_dirty(self):
+        run = _fake_run(SHA + "\n", "?? scratch.py\n")
+        assert resolve_git_sha(_run=run) == SHA + "-dirty"
+
+    def test_no_git_returns_none(self):
+        def run(cmd, **kwargs):
+            raise FileNotFoundError("git")
+
+        assert resolve_git_sha(_run=run) is None
+
+    def test_failing_git_returns_none(self):
+        def run(cmd, **kwargs):
+            raise subprocess.CalledProcessError(128, cmd)
+
+        assert resolve_git_sha(_run=run) is None
+
+    def test_empty_rev_parse_returns_none(self):
+        assert resolve_git_sha(_run=_fake_run("", "")) is None
+
+    def test_real_checkout_reports_head(self):
+        # The repo under test IS a git checkout: the default runner must
+        # come back with HEAD, dirty-suffixed or not.
+        sha = resolve_git_sha()
+        assert sha is not None
+        assert sha.rstrip("-dirty") != ""
+        head = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=_RECORDER_PATH.parent.parent,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        assert sha in (head, head + "-dirty")

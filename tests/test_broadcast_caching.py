@@ -34,6 +34,17 @@ class TestPacketCache:
         with pytest.raises(BroadcastError):
             PacketCache(-1)
 
+    def test_entries_are_version_keyed(self):
+        cache = PacketCache(4)
+        cache.touch(7)
+        assert 7 in cache
+        cache.set_version(1)
+        assert 7 not in cache  # cached under v0, unreachable at v1
+        cache.touch(7)
+        assert 7 in cache
+        cache.set_version(0)
+        assert 7 in cache  # the old entry was never evicted
+
 
 @pytest.fixture(scope="module")
 def stack(voronoi60):
@@ -108,3 +119,49 @@ class TestCachingClient:
             assert a.region_id == b.region_id
             assert a.index_tuning_time == b.index_tuning_time
             assert a.access_latency == b.access_latency
+
+
+class TestRebindAcrossUpdates:
+    def test_flipped_region_is_not_served_from_stale_cache(self):
+        """Regression: a client warmed on cycle v0 kept answering from
+        v0 packets after the index changed on the air.  The rebind must
+        re-key the cache so the first post-update query pays full index
+        tuning again — and answers the *new* tessellation's oracle."""
+        from repro.datasets.catalog import SERVICE_AREA
+        from repro.dynamic import (
+            DynamicBroadcastServer,
+            churn_sites,
+            diff_subdivisions,
+            sites_subdivision,
+        )
+
+        rng = random.Random(31)
+        sites = {
+            i: Point(rng.uniform(0, 1), rng.uniform(0, 1)) for i in range(40)
+        }
+        sub0 = sites_subdivision(sites, SERVICE_AREA)
+        server = DynamicBroadcastServer("dtree", sub0, packet_capacity=256)
+        client = CachingBroadcastClient(
+            server.paged, server.schedule, cache_packets=64
+        )
+        p = Point(0.41, 0.63)
+        warm = client.query(p, 10.0)
+        assert warm.region_id == sub0.locate(p)
+        assert client.query(p, 500.0).index_tuning_time == 0  # fully warm
+        cache_before = client.cache
+
+        moved = churn_sites(
+            sites, SERVICE_AREA, n_move=3, move_scale=0.05, seed=9
+        )
+        sub1 = sites_subdivision(moved, SERVICE_AREA)
+        server.apply_updates(
+            sub1, diff_subdivisions(sub0, sub1, tolerance=1e-9)
+        )
+        client.rebind(server.paged, server.schedule)
+
+        assert client.cache is cache_before  # the session cache survives
+        assert client.cache.version == 1
+        after = client.query(p, 10.0)
+        assert after.index_tuning_time >= 1  # cold again: no v0 hits
+        assert after.region_id == sub1.locate(p)
+        assert client.query(p, 900.0).index_tuning_time == 0  # re-warmed

@@ -41,6 +41,25 @@ class TestOptimalM:
         with pytest.raises(BroadcastError):
             optimal_m(4, 0)
 
+    def test_no_data_and_no_index_rejected(self):
+        # Regression: the index-free early return used to shadow the
+        # data check, so an empty broadcast answered m=1.
+        with pytest.raises(BroadcastError, match="no data"):
+            optimal_m(0, 0)
+
+    def test_negative_data_rejected_regardless_of_index(self):
+        for index_p in (-1, 0, 4):
+            with pytest.raises(BroadcastError, match="no data"):
+                optimal_m(index_p, -5)
+
+    def test_latency_formula_rejects_m_below_one(self):
+        with pytest.raises(BroadcastError, match="m must be >= 1"):
+            expected_latency_formula(4, 100, 0)
+
+    def test_latency_formula_index_free(self):
+        # I=0: probe waits half the chunk, bucket waits half the data.
+        assert expected_latency_formula(0, 100, 1) == 100.0
+
 
 class TestScheduleTimeline:
     def test_cycle_length(self):

@@ -188,3 +188,65 @@ class TestDedupeConsecutive:
         batch = batched_trace(fake, [object()])
         assert batch.last_packet[0] == 0
         assert batch.tuning_time[0] == 0
+
+
+class TestStructureGeneration:
+    """The compiled-SoA caches are stamped with a structure generation;
+    bump_structure_generation is the invalidation hook the dynamic
+    broadcast layer calls after splicing/re-paging an index."""
+
+    ATTRS = (
+        "_compiled_dtree",
+        "_compiled_rstar",
+        "_compiled_trap",
+        "_compiled_trian",
+    )
+
+    def _compiled_attr(self, paged):
+        missing = object()
+        held = [
+            a for a in self.ATTRS if getattr(paged, a, missing) is not missing
+        ]
+        assert len(held) == 1, held
+        return held[0]
+
+    def test_bump_invalidates_compiled_cache(self, paged, voronoi60):
+        from repro.engine.trace import (
+            bump_structure_generation,
+            structure_generation,
+        )
+
+        points = random_points_in(voronoi60, 8, seed=9)
+        first = batched_trace(paged, points)
+        attr = self._compiled_attr(paged)
+        cached = getattr(paged, attr)
+        batched_trace(paged, points)
+        assert getattr(paged, attr) is cached  # stable while unmutated
+
+        before = structure_generation(paged)
+        assert bump_structure_generation(paged) == before + 1
+        again = batched_trace(paged, points)
+        if cached is not None:  # None = family fell back to per-point
+            assert getattr(paged, attr) is not cached  # recompiled
+        assert getattr(paged, attr + "_gen") == structure_generation(paged)
+        assert again.region_ids.tolist() == first.region_ids.tolist()
+        assert again.last_packet.tolist() == first.last_packet.tolist()
+
+    def test_cached_compiled_respects_generation(self):
+        from repro.engine.trace import (
+            _cached_compiled,
+            _store_compiled,
+            bump_structure_generation,
+        )
+
+        class Holder:
+            pass
+
+        holder, missing = Holder(), object()
+        assert _cached_compiled(holder, "_c", missing) is missing
+        _store_compiled(holder, "_c", "payload")
+        assert _cached_compiled(holder, "_c", missing) == "payload"
+        bump_structure_generation(holder)
+        assert _cached_compiled(holder, "_c", missing) is missing
+        _store_compiled(holder, "_c", "fresh")
+        assert _cached_compiled(holder, "_c", missing) == "fresh"

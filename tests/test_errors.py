@@ -10,6 +10,7 @@ from repro.errors import (
     QueryError,
     ReproError,
     SubdivisionError,
+    UpdateError,
 )
 
 ALL_ERRORS = [
@@ -18,6 +19,7 @@ ALL_ERRORS = [
     IndexBuildError,
     PagingError,
     QueryError,
+    UpdateError,
     BroadcastError,
 ]
 

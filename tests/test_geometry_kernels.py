@@ -228,6 +228,22 @@ class TestCompiledPolygon:
     def test_compiled_is_cached(self, polygon):
         assert polygon.compiled() is polygon.compiled()
 
+    def test_compiled_invalidates_on_ring_replacement(self):
+        """The cache is keyed by ring identity: replacing ``vertices``
+        (the one structural mutation a Polygon admits — the dynamic
+        layer's reshape path) must recompile."""
+        poly = Polygon([Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)])
+        before = poly.compiled()
+        poly.vertices = tuple(
+            [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        )
+        after = poly.compiled()
+        assert after is not before
+        assert after is poly.compiled()  # and the new form is cached
+        probe = np.array([1.5]), np.array([1.5])
+        assert not before.contains_batch(*probe)[0]
+        assert after.contains_batch(*probe)[0]
+
 
 class TestCompiledPartition:
     @pytest.fixture(scope="class")
@@ -285,6 +301,28 @@ class TestCompiledSubdivision:
         by_id = compiled.area_by_id()
         for region in subdivision.regions:
             assert by_id[region.region_id] == region.polygon.area
+
+    def test_compiled_invalidates_on_polygon_replacement(self):
+        """Swapping one region's polygon (the dynamic layer's reshape
+        path) must not keep serving the pre-mutation compiled form."""
+        from repro.tessellation.grid import grid_subdivision
+
+        sub = grid_subdivision(2, 2)
+        before = sub.compiled()
+        region = sub.regions[0]
+        region.polygon = Polygon(list(region.polygon.vertices))
+        after = sub.compiled()
+        assert after is not before
+        assert after is sub.compiled()
+
+    def test_compiled_invalidates_on_ring_replacement(self):
+        from repro.tessellation.grid import grid_subdivision
+
+        sub = grid_subdivision(2, 2)
+        before = sub.compiled()
+        poly = sub.regions[0].polygon
+        poly.vertices = tuple(list(poly.vertices))  # same values, new ring
+        assert sub.compiled() is not before
 
 
 class TestLocateTieBreak:

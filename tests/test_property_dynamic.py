@@ -1,0 +1,117 @@
+"""Property-based tests (hypothesis) for the dynamic-broadcast layer.
+
+The invariant under test: whatever interleaving of region updates and
+packet reads a client experiences, the answer it returns is exact for
+the single index version stamped on it — pre-update or post-update,
+never a mix of the two.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.catalog import SERVICE_AREA
+from repro.dynamic import (
+    DynamicBroadcastClient,
+    DynamicBroadcastServer,
+    churn_sites,
+    diff_subdivisions,
+    sites_subdivision,
+)
+from repro.geometry.point import Point
+
+AREA = SERVICE_AREA
+MOVE_SCALE = 0.02 * (AREA.max_x - AREA.min_x)
+TOLERANCE = 1e-9 * (AREA.max_x - AREA.min_x)
+
+
+def _chain(n_sites, steps, seed):
+    """(initial subdivision, [(new subdivision, batch), ...]) — built
+    once at import; every example replays updates from this chain."""
+    rng = random.Random(seed)
+    sites = {
+        i: Point(
+            rng.uniform(AREA.min_x, AREA.max_x),
+            rng.uniform(AREA.min_y, AREA.max_y),
+        )
+        for i in range(n_sites)
+    }
+    first = sites_subdivision(sites, AREA)
+    prev, out = first, []
+    for _ in range(steps):
+        sites = churn_sites(
+            sites, AREA, n_insert=1, n_delete=1, n_move=1,
+            move_scale=MOVE_SCALE, rng=rng,
+        )
+        new = sites_subdivision(sites, AREA)
+        out.append((new, diff_subdivisions(prev, new, tolerance=TOLERANCE)))
+        prev = new
+    return first, out
+
+SUB0, CHAIN = _chain(n_sites=24, steps=3, seed=5)
+
+kinds = st.sampled_from(["dtree", "trian", "trap", "rstar"])
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+#: Hook-call counts at which the next pending update lands — any subset
+#: of the chain may fire, at any point of any read (probe, index walk,
+#: data wait), including several updates inside one read.
+fire_points = st.lists(
+    st.integers(min_value=0, max_value=60), max_size=len(CHAIN)
+)
+
+
+class TestVersionSkewRecovery:
+    @given(kind=kinds, fire=fire_points, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_answers_never_mix_versions(self, kind, fire, seed):
+        server = DynamicBroadcastServer(kind, SUB0, packet_capacity=128)
+        pending = list(CHAIN)
+        fire_at = sorted(fire)
+        calls = [0]
+
+        def hook(stage, attempt):
+            calls[0] += 1
+            while fire_at and pending and calls[0] >= fire_at[0]:
+                fire_at.pop(0)
+                new, batch = pending.pop(0)
+                server.apply_updates(new, batch)
+
+        client = DynamicBroadcastClient(server, on_packet_read=hook)
+        rng = random.Random(seed)
+        last_version = 0
+        for _ in range(5):
+            p = Point(
+                rng.uniform(AREA.min_x, AREA.max_x),
+                rng.uniform(AREA.min_y, AREA.max_y),
+            )
+            result = client.query(
+                p, rng.uniform(0, server.schedule.cycle_length)
+            )
+            # Exact for the stamped version's subdivision — the one
+            # whose packets the successful attempt actually read.
+            oracle = server.history[result.version][0]
+            assert result.region_id == oracle.locate(p)
+            assert result.version >= last_version
+            last_version = result.version
+            assert result.attempts >= 1
+            if result.attempts == 1:
+                assert result.wasted_tuning == 0
+            else:
+                assert result.wasted_tuning > 0
+
+    @given(kind=kinds, seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_quiescent_server_never_retries(self, kind, seed):
+        server = DynamicBroadcastServer(kind, SUB0, packet_capacity=128)
+        client = DynamicBroadcastClient(server)
+        rng = random.Random(seed)
+        for _ in range(5):
+            p = Point(rng.uniform(0, 1), rng.uniform(0, 1))
+            result = client.query(
+                p, rng.uniform(0, server.schedule.cycle_length)
+            )
+            assert result.version == 0
+            assert result.attempts == 1
+            assert result.wasted_tuning == 0
+            assert result.region_id == SUB0.locate(p)

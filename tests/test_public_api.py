@@ -21,6 +21,7 @@ SUBPACKAGES = [
     "repro.simulation",
     "repro.fleet",
     "repro.mobility",
+    "repro.dynamic",
     "repro.obs",
 ]
 

@@ -397,7 +397,7 @@ class TestCacheInSimulator:
         warm_latency = None
         ref.query(point, 0.0)
         # Evict nothing; the whole path is cached except what we remove.
-        ref.cache._entries.pop(accessed[-1])
+        ref.cache._entries.pop((ref.cache.version, accessed[-1]))
         # Issue just after the segment start: with only the *last* path
         # packet uncached, the current segment is still usable, so the
         # wait must be anchored at that packet, not the next segment.
